@@ -1,0 +1,31 @@
+"""Benchmark-suite fixtures.
+
+Every paper table/figure has one benchmark that regenerates it and
+checks the paper's *shape* (who wins, roughly by how much, where the
+crossovers are) — absolute numbers differ because the substrate is a
+simulator, see EXPERIMENTS.md.
+
+Scale: the default settings keep the full suite to minutes.  Set
+``REPRO_SCALE=paper`` to run the paper's 5-minute x 5-user x 10-rep
+protocol (hours).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.runner import ExperimentSettings
+
+
+@pytest.fixture(scope="session")
+def settings() -> ExperimentSettings:
+    if os.environ.get("REPRO_SCALE") == "paper":
+        return ExperimentSettings.paper()
+    return ExperimentSettings.quick()
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)

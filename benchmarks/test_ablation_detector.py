@@ -1,0 +1,63 @@
+"""Ablation — the Eq. (3) window K (DESIGN.md §5).
+
+Smaller K detects congestion sooner but is easier to fool; the paper
+picks K=10 "to guarantee responsiveness".  We feed the same synthetic
+overload trace to detectors with different K and check the
+responsiveness/selectivity trade-off.
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.config import FbccConfig
+from repro.rate_control.fbcc.detector import CongestionDetector
+from repro.units import kbytes
+
+
+def _overload_trace(seed=1):
+    """Reports: calm noise, then a steady 1.5 KB/report climb."""
+    rng = np.random.default_rng(seed)
+    calm = kbytes(2) + rng.normal(0, 200, size=100)
+    climb = kbytes(2) + np.cumsum(np.full(50, 1500.0)) + rng.normal(0, 200, size=50)
+    return np.concatenate([np.maximum(0, calm), climb])
+
+
+def _detection_latency(k: int) -> int:
+    detector = CongestionDetector(FbccConfig(k_consecutive=k))
+    for index, level in enumerate(_overload_trace()):
+        if detector.on_report_level(float(level)):
+            return index - 100  # reports after onset
+    return 10_000
+
+
+def test_ablation_detector_window(benchmark):
+    latencies = run_once(
+        benchmark, lambda: {k: _detection_latency(k) for k in (3, 10, 30)}
+    )
+    # Every window eventually detects the overload...
+    assert all(latency < 60 for latency in latencies.values())
+    # ... and a smaller window reacts no later than a bigger one.
+    assert latencies[3] <= latencies[10] <= latencies[30]
+
+
+def test_ablation_detector_false_positives(benchmark):
+    def trigger_fraction(k: int, trials: int = 300) -> float:
+        """Fraction of stationary-noise traces a fresh detector fires on.
+
+        Fresh detectors per trace, so the post-detection "hot" state
+        does not pollute the comparison.
+        """
+        rng = np.random.default_rng(7)
+        fired = 0
+        for _ in range(trials):
+            detector = CongestionDetector(FbccConfig(k_consecutive=k))
+            levels = np.abs(rng.normal(kbytes(4), kbytes(2), size=30))
+            if any(detector.on_report_level(float(v)) for v in levels):
+                fired += 1
+        return fired / trials
+
+    false_rates = run_once(
+        benchmark, lambda: {k: trigger_fraction(k) for k in (3, 10)}
+    )
+    # The paper's K=10 is far more selective than a 3-report window.
+    assert false_rates[10] < false_rates[3]

@@ -1,0 +1,33 @@
+"""Ablation — number of compression modes K (DESIGN.md §5).
+
+Conduit is effectively a 2-level scheme; the paper uses K=8.  A richer
+mode family lets the sender match the compression profile to the
+ROI-update responsiveness, buying smoother displayed quality on
+cellular.
+"""
+
+import dataclasses
+
+from conftest import run_once
+
+from repro.telephony.session import run_session
+from repro.traces.scenarios import cellular
+
+
+def _run_with_modes(num_modes: int, seed=3):
+    config = cellular(scheme="poi360", transport="gcc", duration=90.0, seed=seed)
+    config = dataclasses.replace(
+        config, compression=dataclasses.replace(config.compression, num_modes=num_modes)
+    )
+    return run_session(config, warmup=30.0)
+
+
+def test_ablation_mode_count(benchmark):
+    def run():
+        return {k: _run_with_modes(k) for k in (2, 8)}
+
+    results = run_once(benchmark, run)
+    two, eight = results[2].summary, results[8].summary
+    # More modes: never worse quality, and no stability regression.
+    assert eight.quality.mean_psnr >= two.quality.mean_psnr - 1.0
+    assert eight.quality_stability_mean <= two.quality_stability_mean + 0.5

@@ -1,0 +1,43 @@
+"""Ablation — FBCC vs a *modern* GCC (send-side BWE).
+
+The paper beats 2017's receiver-side GCC.  A fair question is how much
+of FBCC's edge survives against today's send-side estimator, which
+reacts as soon as transport feedback lands.  Expected: send-side GCC is
+competitive with receiver-side GCC or better, and FBCC still harnesses
+more of the PF uplink because no end-to-end estimator sees the
+firmware-buffer/grant coupling.
+"""
+
+from conftest import run_once
+
+from repro.experiments.runner import run_sessions
+
+
+def test_ablation_sendside_gcc(settings, benchmark):
+    def run():
+        return {
+            name: run_sessions("cellular", "poi360", name, settings)
+            for name in ("gcc", "gcc_ss", "fbcc")
+        }
+
+    results = run_once(benchmark, run)
+
+    def mean_throughput(name):
+        sessions = results[name]
+        return sum(s.summary.throughput.mean for s in sessions) / len(sessions)
+
+    def mean_freeze(name):
+        sessions = results[name]
+        return sum(s.summary.freeze_ratio for s in sessions) / len(sessions)
+
+    # All three stream properly.
+    for name in results:
+        assert all(s.summary.frames_displayed > 1000 for s in results[name])
+        assert mean_freeze(name) < 0.10
+
+    # The modern baseline is at least in receiver-side GCC's league...
+    assert mean_throughput("gcc_ss") > 0.6 * mean_throughput("gcc")
+    # ... and FBCC still leads every end-to-end estimator on the
+    # PF-scheduled uplink.
+    assert mean_throughput("fbcc") > mean_throughput("gcc")
+    assert mean_throughput("fbcc") > 0.9 * mean_throughput("gcc_ss")

@@ -1,0 +1,40 @@
+"""Fig. 11 — ROI PSNR and MOS across schemes and networks.
+
+Paper shape: POI360 wins everywhere; the gap explodes on cellular
+(Conduit/Pyramid lose ~11-13 dB there), Conduit develops a heavy "bad"
+mass from its binary profile, and Pyramid's conservative profile caps
+its excellent share.
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig11
+
+
+def test_fig11_roi_quality(settings, benchmark):
+    rows = run_once(benchmark, fig11.quality_rows, settings)
+    cell_poi = fig11.row(rows, "cellular", "poi360")
+    cell_conduit = fig11.row(rows, "cellular", "conduit")
+    cell_pyramid = fig11.row(rows, "cellular", "pyramid")
+    wire_poi = fig11.row(rows, "wireline", "poi360")
+    wire_conduit = fig11.row(rows, "wireline", "conduit")
+    wire_pyramid = fig11.row(rows, "wireline", "pyramid")
+
+    # Fig. 11a: wireline — everyone reasonable, POI360 ahead.
+    for row in (wire_poi, wire_conduit, wire_pyramid):
+        assert row.mean_psnr > 33.0
+    assert wire_poi.mean_psnr >= wire_conduit.mean_psnr
+    assert wire_poi.mean_psnr >= wire_pyramid.mean_psnr
+
+    # Fig. 11b: cellular — POI360 clearly on top, Conduit hit hardest.
+    assert cell_poi.mean_psnr > cell_conduit.mean_psnr + 2.5
+    assert cell_poi.mean_psnr > cell_pyramid.mean_psnr + 1.0
+
+    # Fig. 11c/d: MOS PDFs.
+    assert wire_poi.good_or_better() > 0.9
+    assert cell_poi.good_or_better() > 0.5
+    assert cell_conduit.mos_pdf["bad"] > 0.10  # the binary profile's dips
+    assert cell_poi.mos_pdf["bad"] < 0.02
+    assert cell_pyramid.mos_pdf["excellent"] < cell_poi.mos_pdf["excellent"] + 0.15
+    # Conduit's good-or-better share collapses relative to POI360.
+    assert cell_conduit.good_or_better() < cell_poi.good_or_better()

@@ -1,0 +1,33 @@
+"""Fig. 12 — short-term ROI quality stability (2 s windows).
+
+Paper shape: on wireline every scheme is stable; on cellular Conduit's
+compression level oscillates an order of magnitude more than POI360's
+(paper: ~14x), with Pyramid between the two in the quality domain.
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig12
+
+
+def _row(rows, network, scheme):
+    return next(r for r in rows if r.network == network and r.scheme == scheme)
+
+
+def test_fig12_stability(settings, benchmark):
+    rows = run_once(benchmark, fig12.stability_rows, settings)
+
+    # Cellular: Conduit's level-domain std dwarfs POI360's.
+    ratios = fig12.stability_ratios(rows, network="cellular")
+    assert ratios["poi360"] == 1.0
+    assert ratios["conduit"] > 5.0
+
+    # Quality-domain view: Conduit least stable, POI360 comparable to
+    # or better than Pyramid's fixed smooth profile.
+    cell_poi = _row(rows, "cellular", "poi360")
+    cell_conduit = _row(rows, "cellular", "conduit")
+    assert cell_conduit.quality_std_mean > 2.0 * cell_poi.quality_std_mean
+
+    # Wireline stays calmer than cellular for the adaptive scheme.
+    wire_poi = _row(rows, "wireline", "poi360")
+    assert wire_poi.quality_std_mean <= cell_poi.quality_std_mean + 0.5

@@ -1,0 +1,32 @@
+"""Fig. 13 — end-to-end frame delay CDFs.
+
+Paper shape: wireline delays are a fraction of cellular ones; cellular
+medians sit in the few-hundred-ms range (paper: 460 ms for POI360) and
+POI360 does not pay for its quality with extra delay.
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig13
+
+
+def test_fig13_frame_delay(settings, benchmark):
+    rows = run_once(benchmark, fig13.delay_rows, settings)
+
+    for scheme in ("poi360", "conduit", "pyramid"):
+        wire = fig13.median_of(rows, "wireline", scheme)
+        cell = fig13.median_of(rows, "cellular", scheme)
+        assert wire < cell, f"{scheme}: wireline should be faster"
+        assert 0.08 < wire < 0.40
+        assert 0.20 < cell < 0.80
+
+    cell_poi = fig13.median_of(rows, "cellular", "poi360")
+    cell_pyramid = fig13.median_of(rows, "cellular", "pyramid")
+    # POI360 never the slowest (paper: 15% under Conduit, Pyramid worst).
+    assert cell_poi <= cell_pyramid * 1.1
+
+    # CDFs are well-formed and reach 1.
+    for row in rows:
+        fractions = [f for _, f in row.cdf]
+        assert fractions == sorted(fractions)
+        assert fractions[-1] > 0.99

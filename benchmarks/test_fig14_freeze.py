@@ -1,0 +1,28 @@
+"""Fig. 14 — video freeze ratio (>600 ms frames).
+
+Paper shape: wireline below 2% for everyone; on cellular the adaptive
+scheme stays low (<~3%) while the fixed profiles degrade (8-17%, with
+the conservative Pyramid worst).
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig14
+
+
+def test_fig14_freeze_ratio(settings, benchmark):
+    rows = run_once(benchmark, fig14.freeze_rows, settings)
+    table = fig14.as_table(rows)
+
+    # Fig. 14a: wireline all well-behaved.
+    for scheme in ("poi360", "conduit", "pyramid"):
+        assert table[("wireline", scheme)] < 0.02
+
+    # Fig. 14b: cellular — POI360 stays low, nobody collapses.
+    assert table[("cellular", "poi360")] < 0.06
+    for scheme in ("conduit", "pyramid"):
+        assert table[("cellular", scheme)] <= 0.30
+    # Freezing is a cellular phenomenon: every scheme freezes at least
+    # as much on LTE as on the wireline baseline.
+    for scheme in ("poi360", "conduit", "pyramid"):
+        assert table[("cellular", scheme)] >= table[("wireline", scheme)] - 1e-9

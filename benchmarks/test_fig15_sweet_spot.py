@@ -1,0 +1,31 @@
+"""Fig. 15 — (buffer level, TBS/s) scatter: FBCC holds the sweet spot.
+
+Paper shape: FBCC's per-second samples sit in the "high usage" region
+(buffer high enough to claim the PF scheduler's full share, short of
+the overuse/saturation region), while GCC leaves a much larger share of
+samples in the drained low-usage region.
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig15
+
+
+def test_fig15_sweet_spot_occupancy(settings, benchmark):
+    results = run_once(benchmark, fig15.sweet_spot_scatter, settings)
+    by_name = {r.transport: r for r in results}
+    gcc, fbcc = by_name["gcc"], by_name["fbcc"]
+    assert gcc.points and fbcc.points
+
+    gcc_regions = gcc.region_fractions()
+    fbcc_regions = fbcc.region_fractions()
+
+    # FBCC spends less time in the low-usage region (paper: a large
+    # fraction of GCC's samples sit there) ...
+    assert fbcc_regions["low"] < gcc_regions["low"]
+    # ... harnesses more of the uplink overall ...
+    assert fbcc.mean_throughput() > gcc.mean_throughput()
+    # ... lives mostly in the high-usage sweet region ...
+    assert fbcc_regions["high"] > 0.5
+    # ... without camping in the overuse/saturation region.
+    assert fbcc_regions["overuse"] < 0.35

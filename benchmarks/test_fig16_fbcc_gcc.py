@@ -1,0 +1,32 @@
+"""Fig. 16 — FBCC vs GCC end-to-end (throughput, freeze, MOS).
+
+Paper shape: comparable mean throughput, GCC's per-second series far
+noisier (≈57% higher std), FBCC's freeze ratio well under GCC's, and
+FBCC's MOS mass at good/excellent.  In our calibration FBCC converts
+its responsiveness into *more* throughput at an equal-or-lower freeze
+ratio — the same dominance, expressed on a slightly different axis (see
+EXPERIMENTS.md).
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig16
+
+
+def test_fig16_transport_comparison(settings, benchmark):
+    rows = run_once(benchmark, fig16.transport_rows, settings)
+    gcc = fig16.row(rows, "gcc")
+    fbcc = fig16.row(rows, "fbcc")
+
+    # Fig. 16a: throughputs in the same regime (same compression on top).
+    assert 0.5 < gcc.throughput_mean / fbcc.throughput_mean < 2.0
+    # GCC's sawtooth: noisier relative to its mean.
+    assert gcc.relative_std > fbcc.relative_std * 0.95
+    # FBCC never freezes more than GCC (paper: 1.6% vs 4.7%).
+    assert fbcc.freeze_ratio <= gcc.freeze_ratio + 0.01
+
+    # Fig. 16b: FBCC's quality distribution is at least as good.
+    fbcc_top = fbcc.mos_pdf["good"] + fbcc.mos_pdf["excellent"]
+    gcc_top = gcc.mos_pdf["good"] + gcc.mos_pdf["excellent"]
+    assert fbcc_top >= gcc_top - 0.05
+    assert fbcc.mean_psnr >= gcc.mean_psnr - 0.3

@@ -1,0 +1,11 @@
+"""Table 1 — PSNR→MOS mapping."""
+
+from conftest import run_once
+
+from repro.experiments import table1
+
+
+def test_table1_mos_mapping(benchmark):
+    rows = run_once(benchmark, table1.table_rows)
+    assert dict(rows) == dict(table1.PAPER_ROWS)
+    assert table1.verify_banding()

@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""A/B comparison with bootstrap confidence intervals.
+
+Compares POI360's adaptive compression against Pyramid on cellular over
+several seeded repetitions, the way one would when deciding whether a
+change is signal or noise: per-session metrics, bootstrap CIs, and a
+Welch test.
+
+Usage::
+
+    python examples/ab_compare.py [repetitions]
+"""
+
+import sys
+
+from repro import run_session
+from repro.metrics.stats import bootstrap_ci, welch_t
+from repro.traces import scenario
+
+
+def collect(scheme: str, repetitions: int):
+    psnrs, freezes = [], []
+    for repetition in range(repetitions):
+        config = scenario(
+            "cellular", scheme=scheme, transport="gcc",
+            duration=80.0, seed=100 + repetition,
+        )
+        summary = run_session(config, warmup=20.0).summary
+        psnrs.append(summary.quality.mean_psnr)
+        freezes.append(summary.freeze_ratio)
+    return psnrs, freezes
+
+
+def main() -> None:
+    repetitions = int(sys.argv[1]) if len(sys.argv) > 1 else 4
+    print(f"{repetitions} sessions per scheme (cellular, GCC transport)...")
+    poi_psnr, poi_freeze = collect("poi360", repetitions)
+    pyr_psnr, pyr_freeze = collect("pyramid", repetitions)
+
+    for label, samples in (("POI360", poi_psnr), ("Pyramid", pyr_psnr)):
+        ci = bootstrap_ci(samples, seed=1)
+        print(f"  {label:<8} ROI PSNR {ci.estimate:5.2f} dB  "
+              f"[{ci.low:.2f}, {ci.high:.2f}] (95% CI)")
+
+    t, p = welch_t(poi_psnr, pyr_psnr)
+    verdict = "significant" if p < 0.05 else "not significant at n=%d" % repetitions
+    print(f"  difference: t={t:.2f}, p={p:.4f} -> {verdict}")
+    print(f"  freeze ratios: POI360 {sum(poi_freeze)/len(poi_freeze)*100:.1f}% "
+          f"vs Pyramid {sum(pyr_freeze)/len(pyr_freeze)*100:.1f}%")
+
+
+if __name__ == "__main__":
+    main()

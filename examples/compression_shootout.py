@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Compression-scheme shoot-out (paper §6.1.1, Figs. 11-14).
+
+Runs POI360's adaptive compression against the Conduit (binary crop)
+and Pyramid (fixed smooth) baselines over both the campus wireline
+network and commercial LTE, all on the same GCC transport, and prints
+a compact version of the paper's micro-benchmark figures.
+
+Usage::
+
+    python examples/compression_shootout.py
+"""
+
+from repro import run_session
+from repro.traces import scenario
+from repro.video.quality import MOS_ORDER
+
+
+def main() -> None:
+    header = (
+        f"{'network':<9} {'scheme':<8} {'PSNR':>5} {'delay':>6} "
+        f"{'freeze':>6} {'stab':>5}  MOS (bad/poor/fair/good/exc)"
+    )
+    print(header)
+    print("-" * len(header))
+    for network in ("wireline", "cellular"):
+        for scheme in ("poi360", "conduit", "pyramid"):
+            config = scenario(
+                network, scheme=scheme, transport="gcc", duration=90.0, seed=23
+            )
+            summary = run_session(config, warmup=25.0).summary
+            pdf = "/".join(
+                f"{summary.quality.mos_pdf.get(band, 0) * 100:.0f}"
+                for band in MOS_ORDER
+            )
+            print(
+                f"{network:<9} {scheme:<8} "
+                f"{summary.quality.mean_psnr:5.1f} "
+                f"{summary.delay.median * 1e3:5.0f}m "
+                f"{summary.freeze_ratio * 100:5.1f}% "
+                f"{summary.stability_mean:5.2f}  {pdf}"
+            )
+    print(
+        "\nPaper shape: all fine on wireline; on cellular the fixed "
+        "profiles lose quality/stability while POI360 adapts its mode to "
+        "the measured ROI mismatch time M."
+    )
+
+
+if __name__ == "__main__":
+    main()

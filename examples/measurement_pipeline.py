@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""The §5 measurement system, in isolation.
+
+Demonstrates the two measurement mechanisms the paper builds:
+
+1. **colored-block frame timestamps** — the sending time is painted
+   into the frame as RGB blocks and decoded (under pixel noise) at the
+   receiver to measure end-to-end frame delay without instrumenting the
+   network;
+2. **the diag-log decoder** — per-subframe modem records (buffer level,
+   TBS) framed as binary messages and decoded from an arbitrarily
+   chunked byte stream, MobileInsight-style.
+
+Usage::
+
+    python examples/measurement_pipeline.py
+"""
+
+import numpy as np
+
+from repro.config import LteConfig
+from repro.lte.diag_log import StreamingDecoder, encode_frame
+from repro.lte.ue import UeUplink
+from repro.net.packet import Packet
+from repro.sim.engine import Simulation
+from repro.sim.rng import RngRegistry
+from repro.telephony.timestamping import decode_timestamp, encode_timestamp
+from repro.units import mbps
+
+
+def demo_timestamps() -> None:
+    print("1) colored-block timestamps")
+    rng = RngRegistry(7).stream("demo")
+    send_time = 123.456
+    blocks = encode_timestamp(send_time)
+    print(f"   sender embeds t={send_time:.3f}s as blocks: {blocks[:4]}...")
+    receive_time = send_time + 0.387
+    decoded = decode_timestamp(blocks, rng=rng, pixel_noise_std=8.0)
+    print(f"   receiver decodes {decoded:.3f}s under codec noise "
+          f"-> measured delay {(receive_time - decoded) * 1e3:.0f} ms")
+
+
+def demo_diag_decoder() -> None:
+    print("\n2) diag-log decoder over a live modem")
+    sim = Simulation()
+    ue = UeUplink(sim, LteConfig(), RngRegistry(3).stream("ue"))
+    wire = bytearray()
+    ue.diag.subscribe(lambda batch: wire.extend(encode_frame(batch)))
+    interval = 1200 * 8 / mbps(2.0)
+    sim.every(interval, lambda: ue.send(
+        Packet(kind="video", size_bytes=1200, created=sim.now)))
+    sim.run(5.0)
+
+    decoder = StreamingDecoder()
+    records = []
+    chunk = 113  # deliberately awkward chunking, like a serial port
+    for start in range(0, len(wire), chunk):
+        records.extend(decoder.feed(bytes(wire[start : start + chunk])))
+    levels = np.array([r.buffer_bytes for r in records])
+    tbs_rate = sum(r.tbs_bytes for r in records) * 8 / 5.0
+    print(f"   {len(wire)} bytes -> {decoder.frames_decoded} frames, "
+          f"{len(records)} subframe records")
+    print(f"   buffer level mean {levels.mean() / 1024:.1f} KB "
+          f"(p95 {np.percentile(levels, 95) / 1024:.1f} KB), "
+          f"TBS throughput {tbs_rate / 1e6:.2f} Mbps")
+
+
+def main() -> None:
+    demo_timestamps()
+    demo_diag_decoder()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""FBCC vs GCC on the same cellular uplink (paper §6.1.2, Figs. 15/16).
+
+Runs the same panoramic call twice — once with WebRTC's GCC and once
+with POI360's firmware-buffer-aware congestion control — and prints the
+throughput stability, freeze and buffer-occupancy contrast, including a
+small text rendition of the Fig. 15 sweet-spot scatter.
+
+Usage::
+
+    python examples/rate_control_comparison.py
+"""
+
+import numpy as np
+
+from repro import run_session
+from repro.traces import scenario
+from repro.units import kbytes
+
+
+def run(transport: str):
+    config = scenario(
+        "cellular", scheme="poi360", transport=transport, duration=120.0, seed=17
+    )
+    return run_session(config, warmup=30.0)
+
+
+def buffer_histogram(result, bins=(0, 1, 2, 5, 10, 20, 40, 64)) -> str:
+    levels = np.array([level for _, level in result.log.buffer_levels]) / 1024.0
+    lines = []
+    for low, high in zip(bins, bins[1:]):
+        share = ((levels >= low) & (levels < high)).mean()
+        lines.append(f"    {low:>2}-{high:<2} KB {'#' * int(share * 50):<50} {share * 100:4.1f}%")
+    return "\n".join(lines)
+
+
+def main() -> None:
+    print("Same 360° call, two transports (POI360 compression on top):\n")
+    results = {}
+    for transport in ("gcc", "fbcc"):
+        results[transport] = run(transport)
+        summary = results[transport].summary
+        print(
+            f"{transport.upper():<5} throughput {summary.throughput.mean / 1e6:4.2f} "
+            f"± {summary.throughput.std / 1e6:4.2f} Mbps | "
+            f"freeze {summary.freeze_ratio * 100:4.1f}% | "
+            f"PSNR {summary.quality.mean_psnr:4.1f} dB"
+        )
+
+    print("\nFirmware-buffer occupancy (the paper's Fig. 15 intuition):")
+    for transport in ("gcc", "fbcc"):
+        print(f"  {transport.upper()}:")
+        print(buffer_histogram(results[transport]))
+    print(
+        "\nGCC drains the buffer and wastes PF-scheduled bandwidth; FBCC "
+        "steers it toward the ~10 KB sweet spot (Eq. 7) and cuts the "
+        "encoder to the measured uplink bandwidth on congestion (Eq. 3-6)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,146 @@
+"""Command-line interface: ``python -m repro.cli`` (or ``repro360``).
+
+Subcommands:
+
+- ``run``       one telephony session, metrics to stdout (optionally
+                exporting the raw per-frame trace);
+- ``sweep``     every (scheme, transport) combination on one scenario;
+- ``scenarios`` list the named scenarios;
+- ``report``    the full paper-vs-measured report (delegates to
+                :mod:`repro.experiments.report`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional, Sequence
+
+from repro.config import SCHEMES, TRANSPORTS
+from repro.metrics import export
+from repro.plotting import bar_chart
+from repro.telephony.session import run_session
+from repro.traces.scenarios import SCENARIOS, scenario
+from repro.video.quality import MOS_ORDER
+
+
+def _add_session_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--scenario", default="cellular", choices=sorted(SCENARIOS))
+    parser.add_argument("--duration", type=float, default=90.0)
+    parser.add_argument("--warmup", type=float, default=20.0)
+    parser.add_argument("--seed", type=int, default=1)
+
+
+def _run_one(args, scheme: str, transport: str):
+    config = scenario(
+        args.scenario,
+        scheme=scheme,
+        transport=transport,
+        duration=args.duration,
+        seed=args.seed,
+    )
+    return run_session(config, warmup=args.warmup)
+
+
+def cmd_run(args) -> int:
+    if args.transport == "fbcc" and args.scenario == "wireline":
+        print("error: FBCC needs the LTE diagnostic interface", file=sys.stderr)
+        return 2
+    result = _run_one(args, args.scheme, args.transport)
+    summary = result.summary
+    if args.json:
+        print(json.dumps(export.summary_to_dict(summary), indent=1))
+    else:
+        print(f"scenario={args.scenario} scheme={args.scheme} transport={args.transport}")
+        for key, value in summary.to_dict().items():
+            print(f"  {key:<22} {value}")
+        pdf = summary.quality.mos_pdf
+        print(bar_chart(list(MOS_ORDER), [pdf.get(b, 0.0) for b in MOS_ORDER]))
+    if args.export:
+        export.write_json(args.export, result.log, summary)
+        print(f"trace written to {args.export}")
+    if args.export_csv:
+        rows = export.write_frames_csv(args.export_csv, result.log)
+        print(f"{rows} frame rows written to {args.export_csv}")
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    rows = []
+    for scheme in SCHEMES:
+        for transport in TRANSPORTS:
+            if transport == "fbcc" and args.scenario == "wireline":
+                continue
+            summary = _run_one(args, scheme, transport).summary
+            rows.append(summary.to_dict())
+    if args.json:
+        print(json.dumps(rows, indent=1))
+        return 0
+    keys = list(rows[0].keys())
+    widths = {k: max(len(k), max(len(str(r[k])) for r in rows)) for k in keys}
+    print("  ".join(k.ljust(widths[k]) for k in keys))
+    for row in rows:
+        print("  ".join(str(row[k]).ljust(widths[k]) for k in keys))
+    return 0
+
+
+def cmd_scenarios(_args) -> int:
+    for name in sorted(SCENARIOS):
+        config = scenario(name)
+        if config.path.access == "lte":
+            channel = config.lte.channel
+            detail = (
+                f"LTE, rss {channel.rss_dbm:g} dBm, load "
+                f"{config.lte.cell.background_load:g}, {channel.speed_mph:g} mph"
+            )
+        else:
+            detail = f"wireline, {config.path.wireline.rate_bps / 1e6:g} Mbps"
+        print(f"  {name:<16} {detail}")
+    return 0
+
+
+def cmd_report(args) -> int:
+    from repro.experiments import report
+
+    argv = ["--scale", args.scale]
+    if args.only:
+        argv += ["--only", args.only]
+    return report.main(argv)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro360", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = sub.add_parser("run", help="run one telephony session")
+    _add_session_args(run_parser)
+    run_parser.add_argument("--scheme", default="poi360", choices=SCHEMES)
+    run_parser.add_argument("--transport", default="fbcc", choices=TRANSPORTS)
+    run_parser.add_argument("--json", action="store_true")
+    run_parser.add_argument("--export", metavar="FILE.json", default=None)
+    run_parser.add_argument("--export-csv", metavar="FILE.csv", default=None)
+    run_parser.set_defaults(func=cmd_run)
+
+    sweep_parser = sub.add_parser("sweep", help="all scheme/transport combos")
+    _add_session_args(sweep_parser)
+    sweep_parser.add_argument("--json", action="store_true")
+    sweep_parser.set_defaults(func=cmd_sweep)
+
+    list_parser = sub.add_parser("scenarios", help="list named scenarios")
+    list_parser.set_defaults(func=cmd_scenarios)
+
+    report_parser = sub.add_parser("report", help="paper-vs-measured report")
+    report_parser.add_argument("--scale", choices=("quick", "paper"), default="quick")
+    report_parser.add_argument("--only", default=None)
+    report_parser.set_defaults(func=cmd_report)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

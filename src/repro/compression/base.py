@@ -1,0 +1,43 @@
+"""Interface every spatial compression scheme implements."""
+
+from __future__ import annotations
+
+import abc
+from typing import Tuple
+
+import numpy as np
+
+
+class CompressionScheme(abc.ABC):
+    """Maps the sender's ROI knowledge to a compression matrix.
+
+    ``update_mismatch`` receives the viewer's averaged ROI-mismatch-time
+    feedback; fixed schemes (Conduit, Pyramid) ignore it, POI360 adapts
+    its mode with it.
+    """
+
+    #: Human-readable scheme name (used in experiment tables).
+    name: str = "base"
+
+    @abc.abstractmethod
+    def matrix(self, sender_roi: Tuple[int, int]) -> np.ndarray:
+        """Compression matrix for the sender's current ROI knowledge."""
+
+    def update_mismatch(self, mismatch_s: float) -> None:
+        """Consume the viewer's averaged M feedback (default: ignore)."""
+
+    def fit_to_rate(self, rate_bps: float, floor_rate) -> None:
+        """Ensure the chosen profile can be encoded at ``rate_bps``.
+
+        ``floor_rate`` maps a compression matrix to the encoder's
+        minimum sustainable bitrate for it.  Fixed schemes ignore this;
+        POI360 steps to more aggressive modes when a conservative
+        profile cannot fit the starving uplink (§6.1.1: it "can switch
+        to more aggressive compression modes than Conduit under bad
+        network condition").
+        """
+
+    @property
+    def l_min(self) -> float:
+        """Compression level at the ROI centre."""
+        return 1.0

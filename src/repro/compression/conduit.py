@@ -1,0 +1,38 @@
+"""Conduit baseline (Patel & Rose 2015, as benchmarked in §6.1.1).
+
+Conduit crops the ROI region from the panorama and streams only the
+crop; following the paper's benchmark setup, the non-ROI region is still
+sent but "with the lowest possible quality".  It is the extreme
+aggressive mode: two quality levels, razor-sharp spatial transition, so
+any ROI staleness drops the viewer straight into the bottom level.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.compression.base import CompressionScheme
+from repro.compression.matrix import fov_tile_offsets, roi_region_tiles
+from repro.config import CompressionConfig, ViewerConfig
+from repro.video.frame import TileGrid
+
+
+class ConduitCompression(CompressionScheme):
+    """Binary crop: l_min inside the FoV region, l_max outside."""
+
+    name = "conduit"
+
+    def __init__(self, config: CompressionConfig, grid: TileGrid, viewer: ViewerConfig):
+        self._config = config
+        self._grid = grid
+        self._offsets = fov_tile_offsets(grid, viewer)
+
+    def matrix(self, sender_roi: Tuple[int, int]) -> np.ndarray:
+        matrix = np.full(
+            (self._grid.tiles_x, self._grid.tiles_y), self._config.conduit_l_max
+        )
+        for i, j in roi_region_tiles(self._grid, sender_roi, self._offsets):
+            matrix[i, j] = self._config.l_min
+        return matrix

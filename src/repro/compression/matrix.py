@@ -1,0 +1,89 @@
+"""Compression-matrix construction and ROI-region geometry.
+
+The compression matrix ``L`` assigns every tile its compression level
+``l_ij`` (size ratio before/after).  Eq. (1) of the paper defines the
+mode family ``l_ij = C^(dx + dy)`` around the ROI centre, with ``dx``
+cyclic (yaw wraps) and ``dy`` absolute.  When the ROI centre shifts,
+rebuilding the matrix is exactly the paper's "cyclic shift".
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.config import ViewerConfig
+from repro.video.frame import TileGrid
+
+
+def build_mode_matrix(
+    grid: TileGrid,
+    roi: Tuple[int, int],
+    c: float,
+    plateau: Tuple[int, int] = (0, 0),
+) -> np.ndarray:
+    """Eq. (1): ``L[i, j] = C^(dx(i,i*) + dy(j,j*))``.
+
+    ``plateau`` keeps a full-quality core of ``±plateau`` tiles around
+    the ROI centre before the exponential decay starts — the ROI the
+    viewer actually looks at spans several tiles, and compressing the
+    tile right next to the gaze defeats the point of ROI streaming.
+    Distances are reduced by the plateau half-widths (floored at 0).
+
+    >>> import repro.video.frame as f
+    >>> g = f.TileGrid(width=12, height=8, tiles_x=12, tiles_y=8)
+    >>> m = build_mode_matrix(g, (0, 0), 1.5)
+    >>> float(m[0, 0])
+    1.0
+    >>> float(m[6, 0]) == 1.5 ** 6
+    True
+    """
+    i_star, j_star = roi
+    i = np.arange(grid.tiles_x)
+    raw = np.abs(i - i_star) % grid.tiles_x
+    dx = np.minimum(raw, grid.tiles_x - raw)
+    dy = np.abs(np.arange(grid.tiles_y) - j_star)
+    px, py = plateau
+    dx = np.maximum(0, dx - px)
+    dy = np.maximum(0, dy - py)
+    return np.power(c, dx[:, None] + dy[None, :]).astype(float)
+
+
+def pixel_ratio(matrix: np.ndarray) -> float:
+    """Compressed-to-raw pixel ratio of a frame under ``matrix``."""
+    return float((1.0 / matrix).mean())
+
+
+def fov_tile_offsets(grid: TileGrid, viewer: ViewerConfig) -> List[Tuple[int, int]]:
+    """Tile offsets (dx, dy) whose centres fall inside the HMD's FoV.
+
+    Used both by Conduit's crop and by the receiver-side ROI-region
+    quality measurement (§5: "the users only care about the quality
+    within ROI").
+    """
+    span_x, span_y = grid.degrees_per_tile()
+    half_x = int(math.floor((viewer.fov_x_deg / 2.0) / span_x))
+    half_y = int(math.floor((viewer.fov_y_deg / 2.0) / span_y))
+    return [
+        (dx, dy)
+        for dx in range(-half_x, half_x + 1)
+        for dy in range(-half_y, half_y + 1)
+    ]
+
+
+def roi_region_tiles(
+    grid: TileGrid, roi: Tuple[int, int], offsets: List[Tuple[int, int]]
+) -> List[Tuple[int, int]]:
+    """Absolute tile coordinates of the FoV region around ``roi``.
+
+    x wraps; tiles whose y falls off the top/bottom are clipped away.
+    """
+    i_star, j_star = roi
+    tiles = []
+    for dx, dy in offsets:
+        j = j_star + dy
+        if 0 <= j < grid.tiles_y:
+            tiles.append(((i_star + dx) % grid.tiles_x, j))
+    return tiles

@@ -1,0 +1,79 @@
+"""The K pre-defined compression modes of §4.2.
+
+``F_1 .. F_K`` are ordered by *decreasing* aggressiveness: F1 uses the
+largest ``C`` (sharpest quality drop away from the ROI, smallest
+traffic), F_K the smallest ``C`` (smoothest profile, safest under laggy
+ROI feedback).  The paper uses K = 8 with C drawn from [1.1 .. 1.8] and
+selects the mode index as ``ceil(M / 200 ms)`` clamped to [1, K] (its
+printed ``max(8, ...)`` is a typo for the clamp — see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.config import CompressionConfig
+from repro.compression.matrix import build_mode_matrix
+from repro.video.frame import TileGrid
+
+
+@dataclass(frozen=True)
+class Mode:
+    """One compression mode F_k."""
+
+    index: int
+    c: float
+    plateau: Tuple[int, int] = (0, 0)
+
+    def matrix(self, grid: TileGrid, roi: Tuple[int, int]) -> np.ndarray:
+        return build_mode_matrix(grid, roi, self.c, self.plateau)
+
+
+class ModeFamily:
+    """The ordered family F_1 (aggressive) .. F_K (conservative)."""
+
+    def __init__(self, config: CompressionConfig):
+        self._config = config
+        count = config.num_modes
+        if count < 2:
+            raise ValueError("need at least two modes")
+        cs = np.linspace(config.c_aggressive, config.c_conservative, count)
+        plateau = (config.plateau_x, config.plateau_y)
+        self.modes = tuple(
+            Mode(index=k + 1, c=float(c), plateau=plateau) for k, c in enumerate(cs)
+        )
+
+    def __len__(self) -> int:
+        return len(self.modes)
+
+    def __getitem__(self, index: int) -> Mode:
+        """1-based mode access (F_1 .. F_K)."""
+        return self.modes[index - 1]
+
+    def emergency_mode(self) -> Mode:
+        """A crop-like profile below F1: maximum C, no plateau.
+
+        Used only when even F1's encoder bits floor exceeds the uplink
+        bandwidth (§6.1.1: POI360 "can switch to more aggressive
+        compression modes than Conduit under bad network condition").
+        """
+        return Mode(index=0, c=self._config.c_aggressive, plateau=(0, 0))
+
+    def mode_for_mismatch(self, mismatch_s: float) -> Mode:
+        """Select F_{i_m}, i_m = clamp(ceil(M / bucket), 1, K).
+
+        >>> from repro.config import CompressionConfig
+        >>> fam = ModeFamily(CompressionConfig())
+        >>> fam.mode_for_mismatch(0.05).index
+        1
+        >>> fam.mode_for_mismatch(10.0).index
+        8
+        """
+        bucket = self._config.mode_bucket
+        index = math.ceil(max(0.0, mismatch_s) / bucket)
+        index = max(1, min(len(self.modes), index))
+        return self[index]

@@ -1,0 +1,31 @@
+"""Pyramid-encoding baseline (Facebook's 360 pyramid, as used in §6.1.1).
+
+A fixed conservative profile: the frame is centred at the ROI with the
+highest quality at the centre and progressively stronger compression
+toward the corners.  In the paper's system model this is a single
+non-adaptive mode with a smooth quality-distribution curve.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.compression.base import CompressionScheme
+from repro.compression.matrix import build_mode_matrix
+from repro.config import CompressionConfig
+from repro.video.frame import TileGrid
+
+
+class PyramidCompression(CompressionScheme):
+    """Fixed smooth profile ``l_ij = pyramid_c^(dx + dy)``."""
+
+    name = "pyramid"
+
+    def __init__(self, config: CompressionConfig, grid: TileGrid):
+        self._config = config
+        self._grid = grid
+
+    def matrix(self, sender_roi: Tuple[int, int]) -> np.ndarray:
+        return build_mode_matrix(self._grid, sender_roi, self._config.pyramid_c)

@@ -1,0 +1,80 @@
+"""Geometric pyramid encoding — Facebook's projection, done on the sphere.
+
+The paper's Pyramid baseline ([7]/[10]) re-projects the sphere onto a
+pyramid whose base is the viewport: full resolution inside the base,
+resolution falling linearly along the side faces toward the apex (the
+point diametrically opposite the view).  :class:`PyramidCompression`
+approximates this with the Eq. (1) tile-distance formula; this variant
+computes each tile's compression level from actual sphere geometry —
+the angle between the tile-centre direction and the ROI direction —
+which is faithful to the projection (e.g. the tile *behind* the viewer
+is equally compressed whether it differs in yaw or pitch).
+
+Registered as scheme name ``"pyramid_geo"``.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.compression.base import CompressionScheme
+from repro.config import CompressionConfig
+from repro.video.frame import TileGrid
+from repro.video.projection import angles_to_vector
+
+#: Angular radius of the full-resolution pyramid base (degrees).
+BASE_ANGLE_DEG = 50.0
+
+#: Per-dimension downscale at the apex (the direction opposite the ROI);
+#: level = scale^2.  6 gives a pixel budget comparable to Facebook's
+#: reported ~80% reduction.
+APEX_SCALE = 6.0
+
+
+def _tile_center_angles(grid: TileGrid, i: int, j: int) -> Tuple[float, float]:
+    yaw = (i + 0.5) * 360.0 / grid.tiles_x
+    pitch = -90.0 + (j + 0.5) * 180.0 / grid.tiles_y
+    return (yaw, pitch)
+
+
+def level_for_angle(theta_deg: float) -> float:
+    """Compression level for a tile ``theta`` degrees off the ROI axis.
+
+    >>> level_for_angle(0.0)
+    1.0
+    >>> level_for_angle(180.0) == APEX_SCALE ** 2
+    True
+    """
+    if theta_deg <= BASE_ANGLE_DEG:
+        return 1.0
+    fraction = (theta_deg - BASE_ANGLE_DEG) / (180.0 - BASE_ANGLE_DEG)
+    scale = 1.0 + (APEX_SCALE - 1.0) * fraction
+    return scale * scale
+
+
+class GeometricPyramidCompression(CompressionScheme):
+    """Fixed pyramid-projection profile from true sphere angles."""
+
+    name = "pyramid_geo"
+
+    def __init__(self, config: CompressionConfig, grid: TileGrid):
+        self._config = config
+        self._grid = grid
+        #: Unit direction of every tile centre, precomputed.
+        self._directions = np.empty((grid.tiles_x, grid.tiles_y, 3))
+        for i in range(grid.tiles_x):
+            for j in range(grid.tiles_y):
+                yaw, pitch = _tile_center_angles(grid, i, j)
+                self._directions[i, j] = angles_to_vector(yaw, pitch)
+
+    def matrix(self, sender_roi: Tuple[int, int]) -> np.ndarray:
+        roi_direction = self._directions[sender_roi[0], sender_roi[1]]
+        cosines = np.clip(self._directions @ roi_direction, -1.0, 1.0)
+        thetas = np.degrees(np.arccos(cosines))
+        levels = np.vectorize(level_for_angle)(thetas)
+        # The ROI tile itself is always lossless, whatever the grid's
+        # quantisation does to its centre angle.
+        levels[sender_roi[0], sender_roi[1]] = self._config.l_min
+        return levels

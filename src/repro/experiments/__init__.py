@@ -1,0 +1,11 @@
+"""Per-figure experiment harnesses (see DESIGN.md §4 for the index).
+
+Each ``figNN`` module regenerates the rows/series of one paper figure;
+``table1`` covers the PSNR→MOS table.  Figures 11-14 share one grid of
+sessions and figures 15-16 another, via the cached runners in
+:mod:`repro.experiments.runner`.
+"""
+
+from repro.experiments.runner import ExperimentSettings, run_grid, run_sessions
+
+__all__ = ["ExperimentSettings", "run_grid", "run_sessions"]

@@ -1,0 +1,118 @@
+"""Fig. 5 — firmware-buffer occupancy vs uplink TBS throughput.
+
+The paper measures buffer level and per-second summed TBS on an LTE
+phone: throughput grows roughly linearly with occupancy and saturates
+(~4.5 Mbps) past a knee (~10 KByte), because the PF scheduler serves a
+UE in proportion to its backlog.  We regenerate the scatter by driving
+a standalone UE uplink with constant-rate traffic at a sweep of offered
+loads and sampling (mean buffer, summed TBS) once per second.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.config import LteConfig
+from repro.lte.diagnostics import DiagRecord
+from repro.lte.ue import UeUplink
+from repro.net.packet import Packet
+from repro.sim.engine import Simulation
+from repro.sim.rng import RngRegistry
+from repro.units import BITS_PER_BYTE, bytes_to_kbytes, mbps
+
+#: Offered loads swept when none are given (bps).
+DEFAULT_RATES = tuple(mbps(r) for r in (0.25, 0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0, 5.0, 6.0))
+
+#: Packet size used by the constant-rate source (bytes).
+PACKET_BYTES = 1200.0
+
+
+@dataclass(frozen=True)
+class Fig05Point:
+    """One per-second sample of the paper's Fig. 5 scatter."""
+
+    buffer_kbytes: float
+    throughput_mbps: float
+
+
+def buffer_throughput_curve(
+    rates_bps: Optional[Sequence[float]] = None,
+    seconds_per_rate: float = 15.0,
+    warmup: float = 3.0,
+    seed: int = 1,
+    lte_config: Optional[LteConfig] = None,
+) -> List[Fig05Point]:
+    """Sweep offered load and sample (buffer level, TBS/s) pairs."""
+    rates = tuple(rates_bps) if rates_bps is not None else DEFAULT_RATES
+    config = lte_config or LteConfig()
+    points: List[Fig05Point] = []
+    for index, rate in enumerate(rates):
+        points.extend(
+            _run_one_rate(rate, seconds_per_rate, warmup, seed + index, config)
+        )
+    return points
+
+
+def _run_one_rate(
+    rate_bps: float,
+    duration: float,
+    warmup: float,
+    seed: int,
+    config: LteConfig,
+) -> List[Fig05Point]:
+    sim = Simulation()
+    rng = RngRegistry(seed)
+    ue = UeUplink(sim, config, rng.stream("ue"))
+
+    def inject() -> None:
+        ue.send(Packet(kind="video", size_bytes=PACKET_BYTES, created=sim.now))
+
+    sim.every(PACKET_BYTES * BITS_PER_BYTE / rate_bps, inject)
+
+    samples: List[Fig05Point] = []
+    state = {"tbs": 0.0, "levels": [], "count": 0}
+
+    def on_batch(batch: List[DiagRecord]) -> None:
+        for record in batch:
+            state["tbs"] += record.tbs_bytes
+            state["levels"].append(record.buffer_bytes)
+
+    def flush_second() -> None:
+        state["count"] += 1
+        levels = state["levels"] or [0.0]
+        if state["count"] > warmup:
+            samples.append(
+                Fig05Point(
+                    buffer_kbytes=bytes_to_kbytes(sum(levels) / len(levels)),
+                    throughput_mbps=state["tbs"] * BITS_PER_BYTE / 1e6,
+                )
+            )
+        state["tbs"] = 0.0
+        state["levels"] = []
+
+    ue.diag.subscribe(on_batch)
+    sim.every(1.0, flush_second)
+    sim.run(duration + warmup)
+    return samples
+
+
+def saturation_throughput(points: Sequence[Fig05Point]) -> float:
+    """Plateau throughput: mean of samples with buffer past the knee."""
+    deep = [p.throughput_mbps for p in points if p.buffer_kbytes >= 10.0]
+    if not deep:
+        return float("nan")
+    return sum(deep) / len(deep)
+
+
+def low_buffer_slope(points: Sequence[Fig05Point]) -> float:
+    """Least-squares slope (Mbps per KByte) over the linear region."""
+    linear = [(p.buffer_kbytes, p.throughput_mbps) for p in points if p.buffer_kbytes < 6.0]
+    if len(linear) < 2:
+        return float("nan")
+    n = len(linear)
+    mean_x = sum(x for x, _ in linear) / n
+    mean_y = sum(y for _, y in linear) / n
+    num = sum((x - mean_x) * (y - mean_y) for x, y in linear)
+    den = sum((x - mean_x) ** 2 for x, _ in linear)
+    return num / den if den else float("nan")

@@ -1,0 +1,55 @@
+"""Fig. 6 — CDF of the firmware-buffer level under WebRTC's rate control.
+
+The paper streams the 4K panorama over GCC and finds the uplink buffer
+*empty* about 40% of the time even though the traffic always exceeds
+the available bandwidth (§3.3): GCC's sawtooth keeps the sending rate
+below the instantaneous bandwidth for long stretches, and the paced
+frame bursts drain before the next frame arrives.  "Empty" here means
+the level rounds to 0 KByte at the diag interface's granularity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.experiments.runner import ExperimentSettings, run_sessions
+from repro.units import kbytes
+
+#: Buffer level below which the diag interface reports "0 KByte".
+EMPTY_THRESHOLD_BYTES = kbytes(1)
+
+
+@dataclass(frozen=True)
+class Fig06Result:
+    """Empty-buffer fraction and the CDF of buffer levels (bytes)."""
+
+    empty_fraction: float
+    levels: Tuple[float, ...]
+
+    def cdf(self, num_points: int = 50) -> List[Tuple[float, float]]:
+        """(level KByte, cumulative fraction) pairs."""
+        if not self.levels:
+            return []
+        ordered = sorted(self.levels)
+        points = []
+        for index in range(num_points):
+            position = int((index + 1) / num_points * len(ordered)) - 1
+            points.append(
+                (ordered[max(0, position)] / 1024.0, (index + 1) / num_points)
+            )
+        return points
+
+
+def buffer_level_cdf(settings: Optional[ExperimentSettings] = None) -> Fig06Result:
+    """Regenerate Fig. 6 from POI360-compression-over-GCC sessions."""
+    results = run_sessions("cellular", "poi360", "gcc", settings)
+    levels: List[float] = []
+    for result in results:
+        levels.extend(level for _, level in result.log.buffer_levels)
+    if not levels:
+        return Fig06Result(empty_fraction=float("nan"), levels=())
+    empty = sum(1 for level in levels if level < EMPTY_THRESHOLD_BYTES)
+    return Fig06Result(
+        empty_fraction=empty / len(levels), levels=tuple(levels)
+    )

@@ -1,0 +1,60 @@
+"""Fig. 11 — user-perceived ROI quality: PSNR bars and MOS PDFs.
+
+Paper shape: on wireline every scheme is reasonable with POI360 ahead;
+on cellular POI360 keeps the highest PSNR while Conduit and Pyramid
+lose heavily (Conduit shows essentially no good/excellent frames, most
+of Pyramid's mass sits at fair-or-below).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.experiments.microbench import NETWORKS, SCHEMES, micro_grid
+from repro.experiments.runner import ExperimentSettings, pooled_mos, pooled_values
+
+
+@dataclass(frozen=True)
+class Fig11Row:
+    """One bar of Fig. 11a/b plus the matching Fig. 11c/d PDF."""
+
+    network: str
+    scheme: str
+    mean_psnr: float
+    std_psnr: float
+    mos_pdf: Dict[str, float]
+
+    def good_or_better(self) -> float:
+        return self.mos_pdf.get("good", 0.0) + self.mos_pdf.get("excellent", 0.0)
+
+
+def quality_rows(settings: Optional[ExperimentSettings] = None) -> List[Fig11Row]:
+    """Regenerate every bar/PDF of Fig. 11."""
+    grid = micro_grid(settings)
+    rows: List[Fig11Row] = []
+    for network in NETWORKS:
+        for scheme in SCHEMES:
+            results = grid[(network, scheme)]
+            psnrs = pooled_values(results, "roi_psnrs")
+            array = np.asarray(psnrs, dtype=float)
+            rows.append(
+                Fig11Row(
+                    network=network,
+                    scheme=scheme,
+                    mean_psnr=float(array.mean()) if array.size else float("nan"),
+                    std_psnr=float(array.std()) if array.size else float("nan"),
+                    mos_pdf=pooled_mos(results),
+                )
+            )
+    return rows
+
+
+def row(rows: List[Fig11Row], network: str, scheme: str) -> Fig11Row:
+    """Pick one condition's row."""
+    for candidate in rows:
+        if candidate.network == network and candidate.scheme == scheme:
+            return candidate
+    raise KeyError((network, scheme))

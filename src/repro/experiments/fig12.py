@@ -1,0 +1,74 @@
+"""Fig. 12 — short-term ROI quality stability.
+
+The paper plots the CDF of the std of the ROI compression level inside
+2-second windows: on cellular, Conduit's binary profile oscillates
+wildly (≈14x POI360's std) and Pyramid sits in between, while POI360
+adapts its mode to the laggy feedback and stays smooth.  We report both
+the level-domain series (the paper's metric) and the quality-domain
+(ROI-PSNR std) view — see EXPERIMENTS.md for how the two relate under
+our plateau-shaped mode family.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.experiments.microbench import NETWORKS, SCHEMES, micro_grid
+from repro.experiments.runner import ExperimentSettings
+
+
+@dataclass(frozen=True)
+class Fig12Row:
+    """Stability summary for one (network, scheme) condition."""
+
+    network: str
+    scheme: str
+    #: Mean/median of the 2 s-window compression-level stds.
+    level_std_mean: float
+    level_std_median: float
+    #: Mean of the 2 s-window ROI-PSNR stds (dB).
+    quality_std_mean: float
+    #: Full level-domain series for CDF plotting.
+    level_stds: Tuple[float, ...]
+
+
+def stability_rows(settings: Optional[ExperimentSettings] = None) -> List[Fig12Row]:
+    """Regenerate the Fig. 12 CDFs (both stability domains)."""
+    grid = micro_grid(settings)
+    rows: List[Fig12Row] = []
+    for network in NETWORKS:
+        for scheme in SCHEMES:
+            level_stds: List[float] = []
+            quality_stds: List[float] = []
+            for result in grid[(network, scheme)]:
+                level_stds.extend(result.summary.stability_stds)
+                quality_stds.extend(result.summary.quality_stds)
+            level_array = np.asarray(level_stds, dtype=float)
+            quality_array = np.asarray(quality_stds, dtype=float)
+            rows.append(
+                Fig12Row(
+                    network=network,
+                    scheme=scheme,
+                    level_std_mean=float(level_array.mean()) if level_array.size else float("nan"),
+                    level_std_median=float(np.median(level_array)) if level_array.size else float("nan"),
+                    quality_std_mean=float(quality_array.mean()) if quality_array.size else float("nan"),
+                    level_stds=tuple(level_array.tolist()),
+                )
+            )
+    return rows
+
+
+def stability_ratios(rows: List[Fig12Row], network: str = "cellular") -> Dict[str, float]:
+    """Each scheme's mean level-std relative to POI360's (paper: Conduit
+    ≈14x, Pyramid ≈5x on cellular)."""
+    baseline = next(
+        r.level_std_mean for r in rows if r.network == network and r.scheme == "poi360"
+    )
+    return {
+        r.scheme: (r.level_std_mean / baseline if baseline else float("inf"))
+        for r in rows
+        if r.network == network
+    }

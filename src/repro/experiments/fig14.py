@@ -1,0 +1,46 @@
+"""Fig. 14 — video freeze ratio (frames delayed past 600 ms).
+
+Paper shape: on wireline everything stays under 2% (POI360 ≈0.6%); on
+cellular the fixed profiles fail — Conduit and Pyramid reach 8-17% —
+while POI360's adaptive compression keeps the ratio below ≈3%.
+Frames that never arrive (expired at the pacer or unrecoverable) count
+as frozen.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.experiments.microbench import NETWORKS, SCHEMES, micro_grid
+from repro.experiments.runner import ExperimentSettings, mean_of
+
+
+@dataclass(frozen=True)
+class Fig14Row:
+    """Freeze ratio for one (network, scheme) condition."""
+
+    network: str
+    scheme: str
+    freeze_ratio: float
+
+
+def freeze_rows(settings: Optional[ExperimentSettings] = None) -> List[Fig14Row]:
+    """Regenerate the Fig. 14 freeze-ratio bars."""
+    grid = micro_grid(settings)
+    rows: List[Fig14Row] = []
+    for network in NETWORKS:
+        for scheme in SCHEMES:
+            rows.append(
+                Fig14Row(
+                    network=network,
+                    scheme=scheme,
+                    freeze_ratio=mean_of(grid[(network, scheme)], "freeze_ratio"),
+                )
+            )
+    return rows
+
+
+def as_table(rows: List[Fig14Row]) -> Dict[Tuple[str, str], float]:
+    """(network, scheme) → freeze ratio."""
+    return {(r.network, r.scheme): r.freeze_ratio for r in rows}

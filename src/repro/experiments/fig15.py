@@ -1,0 +1,71 @@
+"""Fig. 15 — firmware-buffer level vs per-second uplink TBS, FBCC vs GCC.
+
+Paper shape: FBCC's samples cluster in the "high usage" region around
+the sweet spot (buffer high enough to win the PF scheduler's full
+share, below the overuse/saturation region), while a large fraction of
+GCC's samples sit in the low-usage region (buffer drained, bandwidth
+wasted).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.experiments.runner import ExperimentSettings, run_sessions
+from repro.units import kbytes
+
+#: Region boundaries, following the paper's own labels: the *low usage*
+#: region is defined on the throughput axis ("uplink throughput below
+#: 2 Mbps" on their ~4.5 Mbps cell — scaled to our ~3 Mbps calibration),
+#: the *overuse/saturation* region on the buffer axis past the knee.
+LOW_USAGE_BELOW_BPS = 1.4e6
+OVERUSE_ABOVE = kbytes(20)
+
+
+@dataclass(frozen=True)
+class Fig15Result:
+    """Per-transport scatter of (throughput bps, buffer bytes)."""
+
+    transport: str
+    points: Tuple[Tuple[float, float], ...]
+
+    def buffer_median(self) -> float:
+        if not self.points:
+            return float("nan")
+        return float(np.median([buffer for _, buffer in self.points]))
+
+    def region_fractions(self) -> Dict[str, float]:
+        """Fraction of per-second samples per Fig. 15 region."""
+        if not self.points:
+            return {"low": float("nan"), "high": float("nan"), "overuse": float("nan")}
+        rates = np.asarray([rate for rate, _ in self.points])
+        buffers = np.asarray([buffer for _, buffer in self.points])
+        overuse = (buffers > OVERUSE_ABOVE)
+        low = (rates < LOW_USAGE_BELOW_BPS) & ~overuse
+        return {
+            "low": float(low.mean()),
+            "high": float((~low & ~overuse).mean()),
+            "overuse": float(overuse.mean()),
+        }
+
+    def mean_throughput(self) -> float:
+        if not self.points:
+            return float("nan")
+        return float(np.mean([rate for rate, _ in self.points]))
+
+
+def sweet_spot_scatter(
+    settings: Optional[ExperimentSettings] = None,
+) -> List[Fig15Result]:
+    """Regenerate the Fig. 15 scatter for both transports."""
+    results = []
+    for transport in ("gcc", "fbcc"):
+        sessions = run_sessions("cellular", "poi360", transport, settings)
+        points: List[Tuple[float, float]] = []
+        for session in sessions:
+            points.extend(session.log.diag_seconds)
+        results.append(Fig15Result(transport=transport, points=tuple(points)))
+    return results

@@ -1,0 +1,70 @@
+"""Fig. 16 — end-to-end comparison of FBCC vs GCC under POI360.
+
+Paper shape (200 s sessions, same adaptive compression on top):
+
+- mean throughputs are comparable, but GCC's per-second series is far
+  noisier (≈57% higher std) because it probes up and cuts sharply,
+  while FBCC converges to the measured uplink bandwidth;
+- FBCC's freeze ratio (≈1.6%) is well below GCC's (≈4.7%);
+- FBCC's MOS mass sits at good/excellent, GCC leaves >40% at fair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.experiments.runner import (
+    ExperimentSettings,
+    mean_of,
+    pooled_mos,
+    run_sessions,
+)
+
+
+@dataclass(frozen=True)
+class Fig16Row:
+    """One transport's Fig. 16 numbers."""
+
+    transport: str
+    throughput_mean: float
+    throughput_std: float
+    freeze_ratio: float
+    mean_psnr: float
+    mos_pdf: Dict[str, float]
+
+    @property
+    def relative_std(self) -> float:
+        """Throughput std relative to its mean (sawtooth severity)."""
+        if not self.throughput_mean:
+            return float("nan")
+        return self.throughput_std / self.throughput_mean
+
+
+def transport_rows(settings: Optional[ExperimentSettings] = None) -> List[Fig16Row]:
+    """Regenerate Fig. 16a/b for both transports."""
+    rows: List[Fig16Row] = []
+    for transport in ("gcc", "fbcc"):
+        sessions = run_sessions("cellular", "poi360", transport, settings)
+        throughput_means = [s.summary.throughput.mean for s in sessions]
+        throughput_stds = [s.summary.throughput.std for s in sessions]
+        rows.append(
+            Fig16Row(
+                transport=transport,
+                throughput_mean=sum(throughput_means) / len(throughput_means),
+                throughput_std=sum(throughput_stds) / len(throughput_stds),
+                freeze_ratio=mean_of(sessions, "freeze_ratio"),
+                mean_psnr=sum(
+                    s.summary.quality.mean_psnr for s in sessions
+                ) / len(sessions),
+                mos_pdf=pooled_mos(sessions),
+            )
+        )
+    return rows
+
+
+def row(rows: List[Fig16Row], transport: str) -> Fig16Row:
+    for candidate in rows:
+        if candidate.transport == transport:
+            return candidate
+    raise KeyError(transport)

@@ -1,0 +1,86 @@
+"""Fig. 17 — system-level evaluation of the full POI360 stack.
+
+Three condition families, each run with adaptive compression + FBCC:
+
+- **background load** (Fig. 17a/b): idle early-morning cell vs busy
+  noon cell — freeze stays low (≈1% → ≈4%), PSNR drops ≈2 dB, and even
+  busy keeps all frames at fair-or-better;
+- **signal strength** (Fig. 17c/d): -115 / -82 / -73 dBm — freeze stays
+  under ≈3% everywhere, but weak signal costs quality (no excellent
+  frames) while strong signal yields a large excellent share;
+- **mobility** (Fig. 17e/f): 15 / 30 / 50 mph drives — freeze grows
+  with speed (≈static → ≈7% → ≈9%) while quality stays good/excellent
+  on the high-RSS highway route.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.experiments.runner import (
+    ExperimentSettings,
+    mean_of,
+    pooled_mos,
+    run_sessions,
+)
+
+
+@dataclass(frozen=True)
+class Fig17Row:
+    """One condition of the system-level evaluation."""
+
+    family: str
+    condition: str
+    mean_psnr: float
+    freeze_ratio: float
+    mos_pdf: Dict[str, float]
+
+    def excellent(self) -> float:
+        return self.mos_pdf.get("excellent", 0.0)
+
+    def poor_or_bad(self) -> float:
+        return self.mos_pdf.get("poor", 0.0) + self.mos_pdf.get("bad", 0.0)
+
+
+#: (family, condition label, scenario name) for every Fig. 17 bar.
+CONDITIONS = (
+    ("load", "idle", "idle_cell"),
+    ("load", "busy", "busy_cell"),
+    ("rss", "weak", "rss_weak"),
+    ("rss", "moderate", "rss_moderate"),
+    ("rss", "strong", "rss_strong"),
+    ("mobility", "15mph", "driving_15mph"),
+    ("mobility", "30mph", "driving_30mph"),
+    ("mobility", "50mph", "driving_50mph"),
+)
+
+
+def system_rows(settings: Optional[ExperimentSettings] = None) -> List[Fig17Row]:
+    """Regenerate every Fig. 17 condition with the full POI360 stack."""
+    rows: List[Fig17Row] = []
+    for family, condition, scenario_name in CONDITIONS:
+        sessions = run_sessions(scenario_name, "poi360", "fbcc", settings)
+        rows.append(
+            Fig17Row(
+                family=family,
+                condition=condition,
+                mean_psnr=sum(
+                    s.summary.quality.mean_psnr for s in sessions
+                ) / len(sessions),
+                freeze_ratio=mean_of(sessions, "freeze_ratio"),
+                mos_pdf=pooled_mos(sessions),
+            )
+        )
+    return rows
+
+
+def row(rows: List[Fig17Row], family: str, condition: str) -> Fig17Row:
+    for candidate in rows:
+        if candidate.family == family and candidate.condition == condition:
+            return candidate
+    raise KeyError((family, condition))
+
+
+def family_rows(rows: List[Fig17Row], family: str) -> List[Fig17Row]:
+    return [r for r in rows if r.family == family]

@@ -1,0 +1,27 @@
+"""Shared grid for the §6.1.1 micro-benchmarks (Figs. 11-14).
+
+One run of ``micro_grid`` produces the sessions behind four figures:
+ROI PSNR + MOS (Fig. 11), short-term stability (Fig. 12), frame-delay
+CDFs (Fig. 13) and freeze ratios (Fig. 14) — all three compression
+schemes over both the campus wireline network and commercial LTE, with
+GCC as the common transport (as in the paper's setup).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.experiments.runner import ExperimentSettings, run_grid
+from repro.telephony.session import SessionResult
+
+NETWORKS: Tuple[str, ...] = ("wireline", "cellular")
+SCHEMES: Tuple[str, ...] = ("poi360", "conduit", "pyramid")
+
+GridKey = Tuple[str, str]
+
+
+def micro_grid(
+    settings: Optional[ExperimentSettings] = None,
+) -> Dict[GridKey, List[SessionResult]]:
+    """All (network, scheme) conditions of the §6.1.1 micro-benchmarks."""
+    return run_grid(NETWORKS, SCHEMES, transport="gcc", settings=settings)

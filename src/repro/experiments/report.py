@@ -1,0 +1,232 @@
+"""Paper-vs-measured report generator.
+
+``python -m repro.experiments.report [--scale quick|paper]`` runs every
+experiment in DESIGN.md's index and prints one section per figure with
+the paper's expectation next to the measured value.  EXPERIMENTS.md is
+generated from the same rows.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Iterable, Sequence
+
+from repro.experiments import fig05, fig06, fig11, fig12, fig13, fig14, fig15, fig16, fig17, table1
+from repro.experiments.runner import ExperimentSettings
+from repro.plotting import cdf_plot, scatter_plot
+from repro.video.quality import MOS_ORDER
+
+
+def _fmt_pdf(pdf) -> str:
+    return " ".join(f"{band[:4]}={pdf.get(band, 0.0) * 100:.0f}%" for band in MOS_ORDER)
+
+
+def _table(header: Sequence[str], rows: Iterable[Sequence[str]]) -> str:
+    rows = [list(map(str, row)) for row in rows]
+    widths = [len(h) for h in header]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    def line(cells):
+        return "  ".join(cell.ljust(width) for cell, width in zip(cells, widths))
+    out = [line(header), line(["-" * w for w in widths])]
+    out.extend(line(row) for row in rows)
+    return "\n".join(out)
+
+
+def report_table1(out) -> None:
+    out.write("\n== Table 1: PSNR -> MOS mapping ==\n")
+    out.write(_table(("MOS", "PSNR range (dB)"), table1.table_rows()))
+    out.write(f"\nbanding matches paper boundaries: {table1.verify_banding()}\n")
+
+
+def report_fig05(out, seconds: float = 10.0) -> None:
+    out.write("\n== Fig. 5: buffer level vs uplink TBS/s ==\n")
+    points = fig05.buffer_throughput_curve(seconds_per_rate=seconds)
+    out.write(
+        scatter_plot(
+            [(p.buffer_kbytes, p.throughput_mbps) for p in points],
+            xlabel="buffer KByte",
+            ylabel="Mbps",
+        )
+    )
+    out.write(
+        f"\nsamples={len(points)}  low-buffer slope={fig05.low_buffer_slope(points):.3f} Mbps/KB  "
+        f"plateau={fig05.saturation_throughput(points):.2f} Mbps\n"
+        "paper: linear growth then saturation (~4.5 Mbps past ~10 KB on their cell)\n"
+    )
+
+
+def report_fig06(out, settings) -> None:
+    out.write("\n== Fig. 6: firmware buffer CDF under GCC ==\n")
+    result = fig06.buffer_level_cdf(settings)
+    out.write(cdf_plot([l / 1024.0 for l in result.levels], xlabel="buffer KByte"))
+    out.write(
+        f"\nempty (<1 KB) fraction = {result.empty_fraction * 100:.0f}%  "
+        "(paper: ~40% empty despite traffic exceeding bandwidth)\n"
+    )
+
+
+def report_micro(out, settings) -> None:
+    rows11 = fig11.quality_rows(settings)
+    out.write("\n== Fig. 11: ROI PSNR and MOS ==\n")
+    out.write(
+        _table(
+            ("network", "scheme", "PSNR dB", "MOS PDF"),
+            [
+                (r.network, r.scheme, f"{r.mean_psnr:.1f}", _fmt_pdf(r.mos_pdf))
+                for r in rows11
+            ],
+        )
+    )
+    out.write(
+        "\npaper: POI360 highest everywhere; on cellular Conduit/Pyramid drop 11-13 dB below POI360\n"
+    )
+
+    rows12 = fig12.stability_rows(settings)
+    out.write("\n== Fig. 12: short-term stability (2 s windows) ==\n")
+    out.write(
+        _table(
+            ("network", "scheme", "level std", "PSNR std (dB)"),
+            [
+                (r.network, r.scheme, f"{r.level_std_mean:.2f}", f"{r.quality_std_mean:.2f}")
+                for r in rows12
+            ],
+        )
+    )
+    ratios = fig12.stability_ratios(rows12)
+    out.write(
+        f"\ncellular level-std vs POI360: {ratios}\n"
+        "paper: Conduit ~14x and Pyramid ~5x POI360's std on cellular\n"
+    )
+
+    rows13 = fig13.delay_rows(settings)
+    out.write("\n== Fig. 13: frame delay ==\n")
+    out.write(
+        _table(
+            ("network", "scheme", "median ms", "p90 ms"),
+            [
+                (r.network, r.scheme, f"{r.median * 1e3:.0f}", f"{r.p90 * 1e3:.0f}")
+                for r in rows13
+            ],
+        )
+    )
+    out.write("\npaper: cellular median ~460 ms for POI360, ~15% below Conduit, Pyramid slowest\n")
+
+    rows14 = fig14.freeze_rows(settings)
+    out.write("\n== Fig. 14: freeze ratio (>600 ms) ==\n")
+    out.write(
+        _table(
+            ("network", "scheme", "freeze %"),
+            [
+                (r.network, r.scheme, f"{r.freeze_ratio * 100:.1f}")
+                for r in rows14
+            ],
+        )
+    )
+    out.write("\npaper: wireline <2% all; cellular POI360 <3%, Conduit/Pyramid 8-17%\n")
+
+
+def report_transport(out, settings) -> None:
+    out.write("\n== Fig. 15: sweet-spot scatter ==\n")
+    for result in fig15.sweet_spot_scatter(settings):
+        fractions = result.region_fractions()
+        out.write(f"--- {result.transport} ---\n")
+        out.write(
+            scatter_plot(
+                [(b / 1024.0, r / 1e6) for r, b in result.points],
+                xlabel="buffer KByte",
+                ylabel="TBS Mbps",
+                height=10,
+            )
+        )
+        out.write(
+            f"\n{result.transport}: median buffer {result.buffer_median() / 1024:.1f} KB, "
+            f"regions low={fractions['low'] * 100:.0f}% high={fractions['high'] * 100:.0f}% "
+            f"overuse={fractions['overuse'] * 100:.0f}%\n"
+        )
+    out.write("paper: FBCC clusters in the high-usage region; GCC largely in low-usage\n")
+
+    out.write("\n== Fig. 16: FBCC vs GCC ==\n")
+    rows16 = fig16.transport_rows(settings)
+    out.write(
+        _table(
+            ("transport", "thru Mbps", "std Mbps", "rel std", "freeze %", "PSNR", "MOS PDF"),
+            [
+                (
+                    r.transport,
+                    f"{r.throughput_mean / 1e6:.2f}",
+                    f"{r.throughput_std / 1e6:.2f}",
+                    f"{r.relative_std:.2f}",
+                    f"{r.freeze_ratio * 100:.1f}",
+                    f"{r.mean_psnr:.1f}",
+                    _fmt_pdf(r.mos_pdf),
+                )
+                for r in rows16
+            ],
+        )
+    )
+    out.write(
+        "\npaper: similar means; GCC std ~57% higher; FBCC freeze 1.6% vs GCC 4.7%; "
+        "FBCC 69% good + 23% excellent vs GCC >40% fair\n"
+    )
+
+
+def report_system(out, settings) -> None:
+    out.write("\n== Fig. 17: system-level evaluation (POI360 + FBCC) ==\n")
+    rows = fig17.system_rows(settings)
+    out.write(
+        _table(
+            ("family", "condition", "PSNR dB", "freeze %", "MOS PDF"),
+            [
+                (
+                    r.family,
+                    r.condition,
+                    f"{r.mean_psnr:.1f}",
+                    f"{r.freeze_ratio * 100:.1f}",
+                    _fmt_pdf(r.mos_pdf),
+                )
+                for r in rows
+            ],
+        )
+    )
+    out.write(
+        "\npaper: idle~1% vs busy~4% freeze with -2 dB; freeze <3% across RSS but weak has no "
+        "excellent frames; freeze grows with speed (to ~9%) while highway quality stays high\n"
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", choices=("quick", "paper"), default="quick")
+    parser.add_argument(
+        "--only",
+        default=None,
+        help="comma list of sections: table1,fig05,fig06,micro,transport,system",
+    )
+    args = parser.parse_args(argv)
+    settings = (
+        ExperimentSettings.paper() if args.scale == "paper" else ExperimentSettings.quick()
+    )
+    sections = args.only.split(",") if args.only else [
+        "table1", "fig05", "fig06", "micro", "transport", "system",
+    ]
+    out = sys.stdout
+    if "table1" in sections:
+        report_table1(out)
+    if "fig05" in sections:
+        report_fig05(out)
+    if "fig06" in sections:
+        report_fig06(out, settings)
+    if "micro" in sections:
+        report_micro(out, settings)
+    if "transport" in sections:
+        report_transport(out, settings)
+    if "system" in sections:
+        report_system(out, settings)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,141 @@
+"""Session runners shared by the per-figure harnesses.
+
+The paper runs every micro-benchmark as 5-minute sessions repeated 10
+times across 5 users.  That is ≈25 simulated minutes per condition —
+reproducible here, but slow for a test suite — so the settings scale:
+``ExperimentSettings.quick()`` (default for pytest benches) uses shorter
+sessions with fewer users, ``ExperimentSettings.paper()`` matches the
+paper's durations.  Results for a given settings value are cached, so
+the four micro-benchmark figures (11-14) share one grid of sessions.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.roi.users import USER_PROFILES, UserProfile
+from repro.telephony.session import SessionResult, TelephonySession
+from repro.traces.scenarios import scenario
+
+
+@dataclass(frozen=True)
+class ExperimentSettings:
+    """How much simulated time an experiment spends per condition."""
+
+    duration: float = 120.0
+    warmup: float = 40.0
+    repetitions: int = 1
+    num_users: int = 2
+    base_seed: int = 1
+
+    @staticmethod
+    def quick() -> "ExperimentSettings":
+        """Bench-friendly scale (minutes of wall clock for all figures)."""
+        return ExperimentSettings()
+
+    @staticmethod
+    def paper() -> "ExperimentSettings":
+        """The paper's scale: 5-minute sessions, 5 users, 10 repetitions."""
+        return ExperimentSettings(
+            duration=300.0, warmup=40.0, repetitions=10, num_users=5
+        )
+
+    def users(self) -> Tuple[UserProfile, ...]:
+        return USER_PROFILES[: max(1, min(self.num_users, len(USER_PROFILES)))]
+
+
+#: Cache of already-run conditions, keyed by (settings, scenario,
+#: scheme, transport).
+_CACHE: Dict[Tuple, List[SessionResult]] = {}
+
+
+def clear_cache() -> None:
+    """Drop all cached session results (used by tests)."""
+    _CACHE.clear()
+
+
+def run_sessions(
+    scenario_name: str,
+    scheme: str,
+    transport: str,
+    settings: Optional[ExperimentSettings] = None,
+) -> List[SessionResult]:
+    """Run (or fetch cached) sessions for one experimental condition.
+
+    One session per (user, repetition) pair, each with an independent
+    seed and its own synthetic video (content seed follows the session
+    seed, mirroring the paper's one-video-per-user setup).
+    """
+    settings = settings or ExperimentSettings.quick()
+    key = (settings, scenario_name, scheme, transport)
+    if key in _CACHE:
+        return _CACHE[key]
+    results: List[SessionResult] = []
+    for user_index, profile in enumerate(settings.users()):
+        for repetition in range(settings.repetitions):
+            seed = settings.base_seed + 1000 * user_index + repetition
+            config = scenario(
+                scenario_name,
+                scheme=scheme,
+                transport=transport,
+                duration=settings.duration,
+                seed=seed,
+            )
+            session = TelephonySession(config, profile=profile)
+            results.append(
+                session.run(settings.duration, warmup=settings.warmup)
+            )
+    _CACHE[key] = results
+    return results
+
+
+def run_grid(
+    scenarios: Tuple[str, ...],
+    schemes: Tuple[str, ...],
+    transport: str = "gcc",
+    settings: Optional[ExperimentSettings] = None,
+) -> Dict[Tuple[str, str], List[SessionResult]]:
+    """Run every (scenario, scheme) condition; returns keyed results."""
+    grid: Dict[Tuple[str, str], List[SessionResult]] = {}
+    for scenario_name in scenarios:
+        for scheme in schemes:
+            grid[(scenario_name, scheme)] = run_sessions(
+                scenario_name, scheme, transport, settings
+            )
+    return grid
+
+
+def pooled_mos(results: List[SessionResult]) -> Dict[str, float]:
+    """MOS PDF pooled over every frame of every session."""
+    from repro.video.quality import MOS_ORDER, mos_band
+
+    counts = {band: 0 for band in MOS_ORDER}
+    total = 0
+    for result in results:
+        for psnr in result.log.roi_psnrs:
+            counts[mos_band(psnr)] += 1
+            total += 1
+    if total == 0:
+        return {band: 0.0 for band in MOS_ORDER}
+    return {band: counts[band] / total for band in MOS_ORDER}
+
+
+def mean_of(results: List[SessionResult], attribute: str) -> float:
+    """Mean of a scalar SessionSummary attribute across sessions."""
+    values = [getattr(result.summary, attribute) for result in results]
+    return sum(values) / len(values)
+
+
+def pooled_values(results: List[SessionResult], field: str) -> List[float]:
+    """Concatenate a per-frame log list across sessions."""
+    pooled: List[float] = []
+    for result in results:
+        pooled.extend(getattr(result.log, field))
+    return pooled
+
+
+def replace_settings(settings: ExperimentSettings, **changes) -> ExperimentSettings:
+    """Convenience wrapper over :func:`dataclasses.replace`."""
+    return dataclasses.replace(settings, **changes)

@@ -1,0 +1,83 @@
+"""Generic parameter sweeps over session configurations.
+
+Research tooling: vary one (nested) config field across a set of
+values, run seeded sessions per value, and collect summaries — the
+machinery behind questions like "how does the freeze ratio grow with
+shadow-fading depth?" or "where does the sweet-spot target stop
+helping?".
+
+Fields are addressed by dotted path into the frozen dataclass tree,
+e.g. ``"lte.channel.shadow_sigma_db"`` or ``"fbcc.target_buffer"``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Any, Dict, List, Sequence, Tuple
+
+from repro.config import SessionConfig
+from repro.telephony.session import SessionResult, run_session
+
+
+def replace_field(config: Any, dotted: str, value: Any) -> Any:
+    """Return a copy of a nested frozen-dataclass tree with one field set.
+
+    >>> from repro.config import SessionConfig
+    >>> cfg = replace_field(SessionConfig(), "lte.channel.rss_dbm", -100.0)
+    >>> cfg.lte.channel.rss_dbm
+    -100.0
+    """
+    head, _, rest = dotted.partition(".")
+    if not hasattr(config, head):
+        raise AttributeError(f"{type(config).__name__} has no field {head!r}")
+    if rest:
+        inner = replace_field(getattr(config, head), rest, value)
+        return dataclasses.replace(config, **{head: inner})
+    return dataclasses.replace(config, **{head: value})
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """All repetitions of one sweep value."""
+
+    value: Any
+    results: Tuple[SessionResult, ...]
+
+    def mean(self, attribute: str) -> float:
+        """Mean of a scalar SessionSummary attribute."""
+        values = [getattr(r.summary, attribute) for r in self.results]
+        return sum(values) / len(values)
+
+    def mean_psnr(self) -> float:
+        return sum(r.summary.quality.mean_psnr for r in self.results) / len(
+            self.results
+        )
+
+
+def sweep(
+    base: SessionConfig,
+    field: str,
+    values: Sequence[Any],
+    repetitions: int = 1,
+    duration: float = 60.0,
+    warmup: float = 20.0,
+    base_seed: int = 1,
+) -> List[SweepPoint]:
+    """Run ``repetitions`` sessions per value of ``field``."""
+    points: List[SweepPoint] = []
+    for value in values:
+        results = []
+        for repetition in range(repetitions):
+            config = replace_field(base, field, value)
+            config = dataclasses.replace(
+                config, seed=base_seed + repetition, duration=duration
+            )
+            results.append(run_session(config, warmup=warmup))
+        points.append(SweepPoint(value=value, results=tuple(results)))
+    return points
+
+
+def as_series(points: List[SweepPoint], attribute: str) -> Dict[Any, float]:
+    """(value → mean attribute) mapping for quick plotting."""
+    return {point.value: point.mean(attribute) for point in points}

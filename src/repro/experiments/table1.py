@@ -1,0 +1,52 @@
+"""Table 1 — the PSNR→MOS mapping (Sen et al., SIGCOMM'10).
+
+This is an input of the paper's methodology rather than a result; it is
+exposed here so the benchmark suite can regenerate and verify the exact
+banding every other figure's MOS PDFs are built on.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.video.quality import MOS_BANDS, mos_band
+
+#: (MOS label, PSNR range text) rows exactly as printed in the paper.
+PAPER_ROWS: Tuple[Tuple[str, str], ...] = (
+    ("excellent", "> 37"),
+    ("good", "31 ~ 37"),
+    ("fair", "25 ~ 31"),
+    ("poor", "20 ~ 25"),
+    ("bad", "< 20"),
+)
+
+
+def table_rows() -> List[Tuple[str, str]]:
+    """Render our implemented banding in the paper's format."""
+    rows: List[Tuple[str, str]] = []
+    upper = None
+    for name, lower in MOS_BANDS:
+        if upper is None:
+            rows.append((name, f"> {lower:g}"))
+        elif lower == float("-inf"):
+            rows.append((name, f"< {upper:g}"))
+        else:
+            rows.append((name, f"{lower:g} ~ {upper:g}"))
+        upper = lower
+    return rows
+
+
+def verify_banding() -> bool:
+    """Spot-check the mapping against the paper's boundaries."""
+    checks = (
+        (37.01, "excellent"),
+        (37.0, "good"),
+        (31.01, "good"),
+        (31.0, "fair"),
+        (25.01, "fair"),
+        (25.0, "poor"),
+        (20.01, "poor"),
+        (20.0, "bad"),
+        (5.0, "bad"),
+    )
+    return all(mos_band(psnr) == band for psnr, band in checks)

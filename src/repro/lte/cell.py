@@ -1,0 +1,46 @@
+"""Competing background load inside the serving cell.
+
+The fraction of uplink resources other UEs consume follows a clamped
+Gauss-Markov process around the configured mean.  It shrinks both the
+probability that our UE wins a subframe and the PRBs it is granted,
+which is how the paper's idle-vs-busy campus experiments (Fig. 17a/b)
+are reproduced.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.config import CellConfig
+from repro.sim.engine import Simulation
+
+#: Load is clamped into this range (a cell is never 100% occupied by
+#: others for long — the PF scheduler still serves backlogged UEs).
+LOAD_MIN = 0.0
+LOAD_MAX = 0.9
+
+#: Update cadence of the load process (s).
+UPDATE_INTERVAL = 0.1
+
+
+class CellLoadProcess:
+    """Time-varying background-load fraction in [0, 0.9]."""
+
+    def __init__(self, sim: Simulation, config: CellConfig, rng: np.random.Generator):
+        self._config = config
+        self._rng = rng
+        self._deviation = 0.0
+        sim.every(UPDATE_INTERVAL, self._update)
+
+    def _update(self) -> None:
+        decay = math.exp(-UPDATE_INTERVAL / self._config.load_corr_time)
+        innovation = self._config.load_sigma * math.sqrt(max(0.0, 1.0 - decay * decay))
+        self._deviation = self._deviation * decay + innovation * self._rng.normal()
+
+    @property
+    def load(self) -> float:
+        """Instantaneous background-load fraction."""
+        value = self._config.background_load + self._deviation
+        return min(LOAD_MAX, max(LOAD_MIN, value))

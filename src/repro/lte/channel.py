@@ -1,0 +1,74 @@
+"""Radio channel model: shadow fading, mobility, handover outages.
+
+The instantaneous RSS is the configured mean plus a Gauss-Markov
+(Ornstein-Uhlenbeck) shadow-fading term.  Mobility shortens the fading
+correlation time, widens its excursions, and triggers Poisson handovers
+during which the link is in outage (CQI 0 → no grants), reproducing the
+paper's driving experiments (Fig. 17e/f).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.config import ChannelConfig
+from repro.lte.tbs import cqi_from_rss
+from repro.sim.engine import Simulation
+
+
+class ChannelProcess:
+    """Time-varying RSS / CQI process for the sender's uplink."""
+
+    def __init__(self, sim: Simulation, config: ChannelConfig, rng: np.random.Generator):
+        self._sim = sim
+        self._config = config
+        self._rng = rng
+        self._shadow_db = 0.0
+        self._outage_until = -1.0
+        self._fade_db = 0.0
+        self._fade_until = -1.0
+        speed = max(0.0, config.speed_mph)
+        #: Mobility encounters obstructions more often.
+        self._fade_rate = (
+            config.deep_fade_rate_per_min * (1.0 + speed / 15.0) / 60.0
+        )
+        #: Mobility compresses the shadowing correlation time.
+        self._corr_time = config.shadow_corr_time / (1.0 + speed / 10.0)
+        self._sigma = config.shadow_sigma_db * (1.0 + speed / 50.0)
+        self._handover_rate = (
+            config.handover_rate_per_min_at_30mph * (speed / 30.0) / 60.0
+        )
+        sim.every(config.update_interval, self._update)
+
+    def _update(self) -> None:
+        dt = self._config.update_interval
+        decay = math.exp(-dt / self._corr_time)
+        innovation = self._sigma * math.sqrt(max(0.0, 1.0 - decay * decay))
+        self._shadow_db = self._shadow_db * decay + innovation * self._rng.normal()
+        if self._handover_rate > 0.0 and self._sim.now > self._outage_until:
+            if self._rng.random() < self._handover_rate * dt:
+                self._outage_until = self._sim.now + self._config.handover_outage
+        if self._sim.now > self._fade_until:
+            self._fade_db = 0.0
+            if self._fade_rate > 0.0 and self._rng.random() < self._fade_rate * dt:
+                self._fade_db = self._rng.exponential(self._config.deep_fade_depth_db)
+                low, high = self._config.deep_fade_duration
+                self._fade_until = self._sim.now + self._rng.uniform(low, high)
+
+    @property
+    def rss_dbm(self) -> float:
+        """Instantaneous received signal strength (dBm)."""
+        return self._config.rss_dbm + self._shadow_db - self._fade_db
+
+    @property
+    def in_outage(self) -> bool:
+        """True while a handover outage is in progress."""
+        return self._sim.now <= self._outage_until
+
+    def cqi(self) -> int:
+        """Instantaneous CQI (0 during handover outage)."""
+        if self.in_outage:
+            return 0
+        return cqi_from_rss(self.rss_dbm)

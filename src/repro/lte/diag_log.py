@@ -1,0 +1,96 @@
+"""Binary diag-log codec — the paper's "customized real-time log decoder".
+
+The prototype reads the Qualcomm diagnostic port through a MobileInsight
+-style decoder (§5): the modem emits framed binary records, a user-space
+decoder parses them in real time and publishes (buffer level, TBS) to
+shared memory.  This module reproduces that pipeline shape: it
+serialises :class:`DiagRecord` batches into framed binary messages and
+provides a *streaming* decoder that tolerates arbitrary chunking (the
+diag port hands you bytes, not records).
+
+Frame layout (little-endian)::
+
+    magic   u16  = 0x10D0
+    count   u16    records in this frame
+    payload count * (f64 time_s, f32 buffer_bytes, f32 tbs_bytes)
+    check   u16    sum of payload bytes mod 65536
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterable, List
+
+from repro.lte.diagnostics import DiagRecord
+
+MAGIC = 0x10D0
+_HEADER = struct.Struct("<HH")
+_RECORD = struct.Struct("<dff")
+_CHECK = struct.Struct("<H")
+
+
+class DiagLogError(ValueError):
+    """Raised on a corrupt or out-of-sync log stream."""
+
+
+def encode_frame(records: Iterable[DiagRecord]) -> bytes:
+    """Serialise one batch of records into a framed binary message."""
+    body = b"".join(
+        _RECORD.pack(r.time, r.buffer_bytes, r.tbs_bytes) for r in records
+    )
+    count = len(body) // _RECORD.size
+    if count > 0xFFFF:
+        raise ValueError("frame too large")
+    checksum = sum(body) % 65536
+    return _HEADER.pack(MAGIC, count) + body + _CHECK.pack(checksum)
+
+
+class StreamingDecoder:
+    """Incremental decoder over an arbitrarily-chunked byte stream."""
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+        self.frames_decoded = 0
+
+    def feed(self, chunk: bytes) -> List[DiagRecord]:
+        """Consume bytes; return every record completed by this chunk."""
+        self._buffer.extend(chunk)
+        records: List[DiagRecord] = []
+        while True:
+            frame = self._try_frame()
+            if frame is None:
+                return records
+            records.extend(frame)
+
+    def _try_frame(self) -> "List[DiagRecord] | None":
+        if len(self._buffer) < _HEADER.size:
+            return None
+        magic, count = _HEADER.unpack_from(self._buffer, 0)
+        if magic != MAGIC:
+            raise DiagLogError(f"bad magic 0x{magic:04x}: stream out of sync")
+        total = _HEADER.size + count * _RECORD.size + _CHECK.size
+        if len(self._buffer) < total:
+            return None
+        body = bytes(self._buffer[_HEADER.size : total - _CHECK.size])
+        (checksum,) = _CHECK.unpack_from(self._buffer, total - _CHECK.size)
+        if checksum != sum(body) % 65536:
+            raise DiagLogError("checksum mismatch")
+        del self._buffer[:total]
+        self.frames_decoded += 1
+        return [
+            DiagRecord(time=t, buffer_bytes=b, tbs_bytes=s)
+            for t, b, s in _RECORD.iter_unpack(body)
+        ]
+
+    @property
+    def pending_bytes(self) -> int:
+        return len(self._buffer)
+
+
+def decode_stream(data: bytes) -> List[DiagRecord]:
+    """Decode a complete byte stream in one call."""
+    decoder = StreamingDecoder()
+    records = decoder.feed(data)
+    if decoder.pending_bytes:
+        raise DiagLogError(f"{decoder.pending_bytes} trailing bytes")
+    return records

@@ -1,0 +1,54 @@
+"""MobileInsight-style diagnostic interface.
+
+The paper reads the phone's diag port with a customised real-time log
+decoder (§5): the modem logs the uplink firmware-buffer level and the
+transport block size **per 1 ms subframe**, and the decoder delivers
+these records to the application every 40 ms.  FBCC's Eq. (3) scans the
+per-subframe records inside each 40 ms batch, which is what makes it an
+order of magnitude more responsive than RTT-based end-to-end feedback.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List
+
+from repro.sim.engine import Simulation
+
+
+@dataclass(frozen=True)
+class DiagRecord:
+    """One per-subframe modem log record."""
+
+    time: float
+    buffer_bytes: float
+    tbs_bytes: float
+
+
+#: Signature of a diagnostic-batch subscriber.
+DiagListener = Callable[[List[DiagRecord]], None]
+
+
+class DiagMonitor:
+    """Collects per-subframe records and delivers them in 40 ms batches."""
+
+    def __init__(self, sim: Simulation, interval: float):
+        self._sim = sim
+        self._pending: List[DiagRecord] = []
+        self._listeners: List[DiagListener] = []
+        sim.every(interval, self._deliver)
+
+    def subscribe(self, listener: DiagListener) -> None:
+        """Register a callback receiving each 40 ms batch of records."""
+        self._listeners.append(listener)
+
+    def record(self, buffer_bytes: float, tbs_bytes: float) -> None:
+        """Log one subframe's modem state (called by the UE each 1 ms)."""
+        self._pending.append(DiagRecord(self._sim.now, buffer_bytes, tbs_bytes))
+
+    def _deliver(self) -> None:
+        if not self._pending:
+            return
+        batch, self._pending = self._pending, []
+        for listener in self._listeners:
+            listener(batch)

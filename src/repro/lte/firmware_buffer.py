@@ -1,0 +1,69 @@
+"""The UE's uplink firmware (modem) buffer.
+
+RTP packets paced by the transport layer land here and wait for uplink
+grants.  The buffer is drained byte-wise: a grant may carry the tail of
+one packet and the head of the next; a packet "departs" when its last
+byte is transmitted.  When the hard cap is exceeded the modem drops the
+incoming packet (WebRTC's built-in loss handling deals with it
+end-to-end, §4).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Tuple
+
+from repro.net.packet import Packet
+
+
+class FirmwareBuffer:
+    """Byte-accurate FIFO with packet boundaries."""
+
+    def __init__(self, capacity_bytes: float):
+        self.capacity_bytes = float(capacity_bytes)
+        self._queue: Deque[Tuple[Packet, float]] = deque()
+        self._level = 0.0
+        self.dropped_packets = 0
+        self.dropped_bytes = 0.0
+
+    @property
+    def level(self) -> float:
+        """Current occupancy in bytes."""
+        return self._level
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def push(self, packet: Packet) -> bool:
+        """Enqueue ``packet``; returns False (and drops it) if over cap."""
+        if self._level + packet.size_bytes > self.capacity_bytes:
+            self.dropped_packets += 1
+            self.dropped_bytes += packet.size_bytes
+            return False
+        self._queue.append((packet, float(packet.size_bytes)))
+        self._level += packet.size_bytes
+        return True
+
+    def drain(self, grant_bytes: float) -> List[Packet]:
+        """Transmit up to ``grant_bytes``; return packets fully sent now.
+
+        A packet completes when its remainder falls below a sub-byte
+        epsilon — floating-point residue must never strand a packet in
+        a buffer that reports itself empty (no backlog → no grants).
+        """
+        completed: List[Packet] = []
+        remaining = min(grant_bytes, self._level)
+        while remaining > 1e-12 and self._queue:
+            packet, left = self._queue[0]
+            take = min(left, remaining)
+            left -= take
+            remaining -= take
+            self._level -= take
+            if left <= 1e-9:
+                self._queue.popleft()
+                completed.append(packet)
+            else:
+                self._queue[0] = (packet, left)
+        if not self._queue:
+            self._level = 0.0
+        return completed

@@ -1,0 +1,81 @@
+"""The sender's UE uplink: firmware buffer + grants + diag logging.
+
+Runs one callback per 1 ms LTE subframe: asks the eNodeB scheduler for a
+grant (based on the *delayed* buffer state the basestation knows via
+BSR), drains the firmware buffer accordingly, hands completed packets to
+the network after the radio latency, and logs the subframe into the
+diagnostic monitor.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Optional
+
+import numpy as np
+
+from repro.config import LteConfig
+from repro.lte.channel import ChannelProcess
+from repro.lte.competitors import make_cell_model
+from repro.lte.diagnostics import DiagMonitor
+from repro.lte.firmware_buffer import FirmwareBuffer
+from repro.lte.scheduler import EnbScheduler
+from repro.net.packet import Packet
+from repro.sim.engine import Simulation
+from repro.units import LTE_SUBFRAME
+
+#: Signature of the downstream packet sink.
+PacketSink = Callable[[Packet], None]
+
+
+class UeUplink:
+    """Subframe-level uplink pipeline for the video sender's phone."""
+
+    def __init__(
+        self,
+        sim: Simulation,
+        config: LteConfig,
+        rng: np.random.Generator,
+        sink: Optional[PacketSink] = None,
+    ):
+        self._sim = sim
+        self._config = config
+        self.channel = ChannelProcess(sim, config.channel, rng)
+        self.cell = make_cell_model(sim, config.cell, rng)
+        self.scheduler = EnbScheduler(config, self.channel, self.cell, rng)
+        self.buffer = FirmwareBuffer(config.firmware_buffer_cap)
+        self.diag = DiagMonitor(sim, config.diag_interval)
+        self._sink = sink
+        #: Ring of recent buffer levels implementing the BSR delay.
+        depth = max(1, int(round(config.bsr_delay / LTE_SUBFRAME)))
+        self._bsr_ring: Deque[float] = deque([0.0] * depth, maxlen=depth)
+        self.bytes_sent = 0.0
+        sim.every(LTE_SUBFRAME, self._subframe)
+
+    def set_sink(self, sink: PacketSink) -> None:
+        """Attach the downstream path receiving transmitted packets."""
+        self._sink = sink
+
+    def send(self, packet: Packet) -> bool:
+        """Enqueue a paced RTP packet into the firmware buffer."""
+        return self.buffer.push(packet)
+
+    @property
+    def buffer_level(self) -> float:
+        """Current firmware-buffer occupancy in bytes."""
+        return self.buffer.level
+
+    def _subframe(self) -> None:
+        reported = self._bsr_ring[0]
+        self._bsr_ring.append(self.buffer.level)
+        grant = self.scheduler.grant_for_subframe(reported, self.buffer.level)
+        tbs = 0.0
+        if grant > 0.0:
+            before = self.buffer.level
+            completed = self.buffer.drain(grant)
+            tbs = before - self.buffer.level
+            self.bytes_sent += tbs
+            if self._sink is not None:
+                for packet in completed:
+                    self._sim.schedule(self._config.radio_latency, self._sink, packet)
+        self.diag.record(self.buffer.level, tbs)

@@ -1,0 +1,17 @@
+"""Measurement system: the paper's §5/§6 metrics over session logs."""
+
+from repro.metrics.delay import DelayStats
+from repro.metrics.freeze import freeze_ratio
+from repro.metrics.quality import QualityStats
+from repro.metrics.stability import stability_series
+from repro.metrics.throughput import ThroughputStats
+from repro.metrics.summary import SessionSummary
+
+__all__ = [
+    "DelayStats",
+    "freeze_ratio",
+    "QualityStats",
+    "stability_series",
+    "ThroughputStats",
+    "SessionSummary",
+]

@@ -1,0 +1,48 @@
+"""End-to-end video frame delay statistics (Fig. 13).
+
+Frame delay is capture-to-display latency — NOT the frame interval: a
+stream can be 460 ms late while still playing at 36 FPS (§6.1.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class DelayStats:
+    """Summary of a frame-delay sample set (seconds)."""
+
+    mean: float
+    median: float
+    p90: float
+    p99: float
+    count: int
+
+    @staticmethod
+    def from_samples(delays: Sequence[float]) -> "DelayStats":
+        if not len(delays):
+            return DelayStats(float("nan"), float("nan"), float("nan"), float("nan"), 0)
+        array = np.asarray(delays, dtype=float)
+        return DelayStats(
+            mean=float(array.mean()),
+            median=float(np.median(array)),
+            p90=float(np.percentile(array, 90)),
+            p99=float(np.percentile(array, 99)),
+            count=int(array.size),
+        )
+
+
+def delay_cdf(delays: Sequence[float], points: int = 100) -> List[Tuple[float, float]]:
+    """(delay, cumulative fraction) pairs for CDF plots."""
+    if not len(delays):
+        return []
+    array = np.sort(np.asarray(delays, dtype=float))
+    fractions = np.arange(1, array.size + 1) / array.size
+    if array.size <= points:
+        return list(zip(array.tolist(), fractions.tolist()))
+    idx = np.linspace(0, array.size - 1, points).astype(int)
+    return list(zip(array[idx].tolist(), fractions[idx].tolist()))

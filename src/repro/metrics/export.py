@@ -1,0 +1,142 @@
+"""Session-trace export/import (JSON and CSV).
+
+The paper's measurement system dumps per-frame records for offline
+comparison (§5); these helpers do the same for simulated sessions so
+results can be analysed outside Python (spreadsheets, gnuplot, R) and
+archived alongside EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.metrics.summary import SessionLog, SessionSummary
+
+PathLike = Union[str, Path]
+
+#: Format version written into every export.
+EXPORT_VERSION = 1
+
+
+def summary_to_dict(summary: SessionSummary) -> dict:
+    """Full (JSON-safe) dict of a session summary."""
+    return {
+        "scheme": summary.scheme,
+        "transport": summary.transport,
+        "duration_s": summary.duration,
+        "delay": {
+            "mean_s": summary.delay.mean,
+            "median_s": summary.delay.median,
+            "p90_s": summary.delay.p90,
+            "p99_s": summary.delay.p99,
+            "count": summary.delay.count,
+        },
+        "freeze_ratio": summary.freeze_ratio,
+        "quality": {
+            "mean_psnr_db": summary.quality.mean_psnr,
+            "std_psnr_db": summary.quality.std_psnr,
+            "mos_pdf": summary.quality.mos_pdf,
+        },
+        "stability_level_std_mean": summary.stability_mean,
+        "stability_psnr_std_mean": summary.quality_stability_mean,
+        "throughput_bps": {
+            "mean": summary.throughput.mean,
+            "std": summary.throughput.std,
+        },
+        "mean_mismatch_s": summary.mean_mismatch,
+        "frames_displayed": summary.frames_displayed,
+        "frames_lost": summary.frames_lost,
+        "mode_switches": summary.mode_switches,
+        "congestion_events": summary.congestion_events,
+        "sent_rate_mean_bps": summary.sent_rate_mean,
+    }
+
+
+def log_to_dict(log: SessionLog) -> dict:
+    """JSON-safe dict of the raw per-frame log."""
+    return {
+        "version": EXPORT_VERSION,
+        "start_time_s": log.start_time,
+        "frame_delays_s": list(log.frame_delays),
+        "roi_psnrs_db": list(log.roi_psnrs),
+        "display_times_s": list(log.display_times),
+        "roi_levels": [[t, level] for t, level in log.roi_levels],
+        "mismatches_s": list(log.mismatches),
+        "buffer_levels": [[t, level] for t, level in log.buffer_levels],
+        "diag_seconds": [[rate, level] for rate, level in log.diag_seconds],
+        "rate_trace": [[t, rv, rrtp] for t, rv, rrtp in log.rate_trace],
+        "counters": {
+            "frames_sent": log.frames_sent,
+            "frames_displayed": log.frames_displayed,
+            "frames_lost": log.frames_lost,
+            "packets_lost": log.packets_lost,
+            "mode_switches": log.mode_switches,
+            "congestion_events": log.congestion_events,
+            "sent_bits": log.sent_bits,
+        },
+    }
+
+
+def log_from_dict(data: dict) -> SessionLog:
+    """Rebuild a :class:`SessionLog` from :func:`log_to_dict` output."""
+    if data.get("version") != EXPORT_VERSION:
+        raise ValueError(f"unsupported export version: {data.get('version')!r}")
+    log = SessionLog()
+    log.start_time = data["start_time_s"]
+    log.frame_delays.extend(data["frame_delays_s"])
+    log.roi_psnrs.extend(data["roi_psnrs_db"])
+    log.display_times.extend(data["display_times_s"])
+    log.roi_levels.extend((t, level) for t, level in data["roi_levels"])
+    log.mismatches.extend(data["mismatches_s"])
+    log.buffer_levels.extend((t, level) for t, level in data["buffer_levels"])
+    log.diag_seconds.extend((rate, level) for rate, level in data["diag_seconds"])
+    log.rate_trace.extend(tuple(row) for row in data["rate_trace"])
+    counters = data["counters"]
+    log.frames_sent = counters["frames_sent"]
+    log.frames_displayed = counters["frames_displayed"]
+    log.frames_lost = counters["frames_lost"]
+    log.packets_lost = counters["packets_lost"]
+    log.mode_switches = counters["mode_switches"]
+    log.congestion_events = counters["congestion_events"]
+    log.sent_bits = counters["sent_bits"]
+    return log
+
+
+def write_json(path: PathLike, log: SessionLog, summary: SessionSummary) -> None:
+    """Write one session (raw log + summary) as a JSON file."""
+    payload = {"summary": summary_to_dict(summary), "log": log_to_dict(log)}
+    Path(path).write_text(json.dumps(payload, indent=1))
+
+
+def read_json(path: PathLike) -> SessionLog:
+    """Load the raw log back from a :func:`write_json` file."""
+    payload = json.loads(Path(path).read_text())
+    return log_from_dict(payload["log"])
+
+
+def write_frames_csv(path: PathLike, log: SessionLog) -> int:
+    """Write one row per displayed frame; returns the row count.
+
+    Columns: display time, frame delay, ROI PSNR, displayed ROI level,
+    frame-level mismatch — the §5 per-frame measurement record.
+    """
+    rows = zip(
+        log.display_times,
+        log.frame_delays,
+        log.roi_psnrs,
+        (level for _, level in log.roi_levels),
+        log.mismatches,
+    )
+    count = 0
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(
+            ["display_time_s", "frame_delay_s", "roi_psnr_db", "roi_level", "mismatch_s"]
+        )
+        for row in rows:
+            writer.writerow([f"{value:.6f}" for value in row])
+            count += 1
+    return count

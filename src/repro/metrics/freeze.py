@@ -1,0 +1,27 @@
+"""Video freeze ratio (Fig. 14) — "the most crucial user experience
+metric" per §6.1.1: the fraction of frames delayed beyond 600 ms.
+
+Frames that never completed (all recovery attempts failed) count as
+frozen: their delay is effectively infinite.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def freeze_ratio(
+    delays: Sequence[float], threshold: float = 0.6, lost_frames: int = 0
+) -> float:
+    """Fraction of frames with delay > ``threshold`` (lost ones included).
+
+    >>> freeze_ratio([0.1, 0.2, 0.7, 0.9])
+    0.5
+    >>> freeze_ratio([], lost_frames=3)
+    1.0
+    """
+    total = len(delays) + lost_frames
+    if total == 0:
+        return 0.0
+    frozen = sum(1 for d in delays if d > threshold) + lost_frames
+    return frozen / total

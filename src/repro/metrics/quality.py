@@ -1,0 +1,45 @@
+"""ROI video-quality statistics: PSNR summary and MOS PDF (Fig. 11/16/17).
+
+Per-frame ROI PSNR values are averaged arithmetically across frames (as
+quality traces are in the paper), and the MOS PDF buckets frames into
+Table 1's five bands.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.video.quality import MOS_ORDER, mos_band
+
+
+@dataclass(frozen=True)
+class QualityStats:
+    """Summary of per-frame ROI PSNR samples."""
+
+    mean_psnr: float
+    std_psnr: float
+    mos_pdf: Dict[str, float] = field(default_factory=dict)
+    count: int = 0
+
+    @staticmethod
+    def from_samples(psnrs: Sequence[float]) -> "QualityStats":
+        if not len(psnrs):
+            return QualityStats(float("nan"), float("nan"), {b: 0.0 for b in MOS_ORDER}, 0)
+        array = np.asarray(psnrs, dtype=float)
+        counts = {band: 0 for band in MOS_ORDER}
+        for value in array:
+            counts[mos_band(float(value))] += 1
+        pdf = {band: counts[band] / array.size for band in MOS_ORDER}
+        return QualityStats(
+            mean_psnr=float(array.mean()),
+            std_psnr=float(array.std()),
+            mos_pdf=pdf,
+            count=int(array.size),
+        )
+
+    def fraction(self, band: str) -> float:
+        """MOS PDF value for one band name."""
+        return self.mos_pdf.get(band, 0.0)

@@ -1,0 +1,39 @@
+"""Short-term ROI quality stability (Fig. 12).
+
+The paper characterises stability as the standard deviation of the
+compression level *displayed at the viewer's ROI* inside a 2-second
+sliding window.  ``stability_series`` slides that window along the
+session and returns the per-window std values whose CDF is Fig. 12.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+
+def stability_series(
+    samples: Sequence[Tuple[float, float]],
+    window_s: float = 2.0,
+    step_s: float = 0.5,
+) -> List[float]:
+    """Sliding-window std of (time, ROI compression level) samples.
+
+    >>> stability_series([(0.0, 1.0), (1.0, 1.0), (2.0, 1.0)])
+    [0.0]
+    """
+    if not samples:
+        return []
+    times = np.asarray([t for t, _ in samples], dtype=float)
+    levels = np.asarray([v for _, v in samples], dtype=float)
+    stds: List[float] = []
+    start = times[0]
+    end = times[-1]
+    window_start = start
+    while window_start + window_s <= end + 1e-9:
+        mask = (times >= window_start) & (times < window_start + window_s)
+        if mask.sum() >= 2:
+            stds.append(float(levels[mask].std()))
+        window_start += step_s
+    return stds

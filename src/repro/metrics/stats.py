@@ -1,0 +1,100 @@
+"""Statistical helpers for comparing sessions and repetitions.
+
+The paper reports means with error bars over 10 repetitions × 5 users;
+these helpers provide the equivalent machinery for our reproductions:
+bootstrap confidence intervals (no distributional assumptions — freeze
+ratios and PSNR means are anything but normal) and a Welch test for
+quick two-condition comparisons.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ConfidenceInterval:
+    """A point estimate with a bootstrap confidence interval."""
+
+    estimate: float
+    low: float
+    high: float
+    confidence: float
+
+    def contains(self, value: float) -> bool:
+        return self.low <= value <= self.high
+
+    @property
+    def width(self) -> float:
+        return self.high - self.low
+
+
+def bootstrap_ci(
+    samples: Sequence[float],
+    statistic: Callable[[np.ndarray], float] = np.mean,
+    confidence: float = 0.95,
+    n_boot: int = 2000,
+    seed: int = 0,
+) -> ConfidenceInterval:
+    """Percentile-bootstrap CI of ``statistic`` over ``samples``.
+
+    >>> ci = bootstrap_ci([1.0, 2.0, 3.0, 4.0, 5.0], seed=1)
+    >>> ci.contains(3.0)
+    True
+    """
+    array = np.asarray(samples, dtype=float)
+    if array.size == 0:
+        raise ValueError("need at least one sample")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError("confidence must be in (0, 1)")
+    rng = np.random.default_rng(seed)
+    estimates = np.empty(n_boot)
+    for index in range(n_boot):
+        resample = array[rng.integers(0, array.size, size=array.size)]
+        estimates[index] = statistic(resample)
+    alpha = (1.0 - confidence) / 2.0
+    return ConfidenceInterval(
+        estimate=float(statistic(array)),
+        low=float(np.quantile(estimates, alpha)),
+        high=float(np.quantile(estimates, 1.0 - alpha)),
+        confidence=confidence,
+    )
+
+
+def welch_t(
+    a: Sequence[float], b: Sequence[float]
+) -> Tuple[float, float]:
+    """Welch's t statistic and approximate two-sided p-value.
+
+    The p-value uses the normal approximation of the t distribution —
+    adequate for the screening use here (is a condition difference
+    noise or signal?), with scipy available for anything sharper.
+    """
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    if a.size < 2 or b.size < 2:
+        raise ValueError("need at least two samples per group")
+    var_a = a.var(ddof=1) / a.size
+    var_b = b.var(ddof=1) / b.size
+    denom = math.sqrt(var_a + var_b)
+    if denom == 0.0:
+        return (0.0, 1.0)
+    t = (a.mean() - b.mean()) / denom
+    p = 2.0 * (1.0 - _normal_cdf(abs(t)))
+    return (float(t), float(p))
+
+
+def _normal_cdf(x: float) -> float:
+    return 0.5 * (1.0 + math.erf(x / math.sqrt(2.0)))
+
+
+def significantly_different(
+    a: Sequence[float], b: Sequence[float], alpha: float = 0.05
+) -> bool:
+    """True when the two sample sets differ at level ``alpha``."""
+    _, p = welch_t(a, b)
+    return p < alpha

@@ -1,0 +1,42 @@
+"""Received-throughput statistics (Fig. 16a)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.units import BITS_PER_BYTE
+
+
+def per_second_series(
+    arrivals: Sequence[Tuple[float, float]], duration: float
+) -> List[float]:
+    """Bucket (arrival time, bytes) pairs into per-second bps values."""
+    buckets = int(np.ceil(duration)) or 1
+    series = np.zeros(buckets)
+    for when, size in arrivals:
+        index = min(buckets - 1, int(when))
+        series[index] += size * BITS_PER_BYTE
+    return series.tolist()
+
+
+@dataclass(frozen=True)
+class ThroughputStats:
+    """Mean/std of a per-second throughput series (bps)."""
+
+    mean: float
+    std: float
+    series: Tuple[float, ...] = ()
+
+    @staticmethod
+    def from_series(series: Sequence[float], keep_series: bool = True) -> "ThroughputStats":
+        if not len(series):
+            return ThroughputStats(float("nan"), float("nan"), ())
+        array = np.asarray(series, dtype=float)
+        return ThroughputStats(
+            mean=float(array.mean()),
+            std=float(array.std()),
+            series=tuple(array.tolist()) if keep_series else (),
+        )

@@ -1,0 +1,13 @@
+"""End-to-end network path substrate (everything around the LTE uplink)."""
+
+from repro.net.packet import Packet
+from repro.net.link import RateLimitedLink, StochasticLink
+from repro.net.path import ForwardPath, ReversePath
+
+__all__ = [
+    "Packet",
+    "RateLimitedLink",
+    "StochasticLink",
+    "ForwardPath",
+    "ReversePath",
+]

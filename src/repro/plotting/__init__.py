@@ -1,0 +1,5 @@
+"""Dependency-free ASCII plotting for reports and examples."""
+
+from repro.plotting.ascii import bar_chart, cdf_plot, histogram, scatter_plot
+
+__all__ = ["bar_chart", "cdf_plot", "histogram", "scatter_plot"]

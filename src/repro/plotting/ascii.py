@@ -1,0 +1,106 @@
+"""Terminal plots (no matplotlib on the evaluation box).
+
+Small, deterministic renderers used by ``repro.experiments.report`` and
+the examples: scatter (Fig. 5/15), CDF (Fig. 6/12/13), bars (Fig. 11/14
+/16/17) and histograms.  Every function returns a string.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+
+def _scale(value: float, low: float, high: float, size: int) -> int:
+    if high <= low:
+        return 0
+    position = (value - low) / (high - low)
+    return min(size - 1, max(0, int(position * size)))
+
+
+def scatter_plot(
+    points: Sequence[Tuple[float, float]],
+    width: int = 64,
+    height: int = 16,
+    xlabel: str = "x",
+    ylabel: str = "y",
+    marker: str = "o",
+) -> str:
+    """Scatter of (x, y) points on a character canvas."""
+    if not points:
+        return "(no data)"
+    xs = [x for x, _ in points]
+    ys = [y for _, y in points]
+    x_low, x_high = min(xs), max(xs)
+    y_low, y_high = min(ys), max(ys)
+    canvas = [[" "] * width for _ in range(height)]
+    for x, y in points:
+        col = _scale(x, x_low, x_high, width)
+        row = height - 1 - _scale(y, y_low, y_high, height)
+        canvas[row][col] = marker
+    lines = [f"{ylabel} {y_high:.3g}".rstrip()]
+    lines.extend("  |" + "".join(row) for row in canvas)
+    lines.append("  +" + "-" * width)
+    lines.append(f"   {x_low:.3g} {xlabel} ... {x_high:.3g}")
+    return "\n".join(lines)
+
+
+def cdf_plot(
+    values: Sequence[float],
+    width: int = 64,
+    height: int = 12,
+    xlabel: str = "value",
+) -> str:
+    """Empirical CDF of a sample set."""
+    if not values:
+        return "(no data)"
+    ordered = sorted(values)
+    points = [
+        (value, (index + 1) / len(ordered)) for index, value in enumerate(ordered)
+    ]
+    return scatter_plot(
+        points, width=width, height=height, xlabel=xlabel, ylabel="CDF", marker="*"
+    )
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 46,
+    unit: str = "",
+) -> str:
+    """Horizontal bars with labels."""
+    if not labels:
+        return "(no data)"
+    if len(labels) != len(values):
+        raise ValueError("labels and values must align")
+    top = max(max(values), 1e-12)
+    label_width = max(len(label) for label in labels)
+    lines = []
+    for label, value in zip(labels, values):
+        bar = "#" * max(0, int(value / top * width))
+        lines.append(f"{label.ljust(label_width)} |{bar.ljust(width)} {value:.3g}{unit}")
+    return "\n".join(lines)
+
+
+def histogram(
+    values: Sequence[float],
+    bins: int = 10,
+    width: int = 46,
+    unit: str = "",
+) -> str:
+    """Equal-width histogram as horizontal bars."""
+    values = list(values)
+    if not values:
+        return "(no data)"
+    low, high = min(values), max(values)
+    if high == low:
+        high = low + 1.0
+    counts = [0] * bins
+    for value in values:
+        counts[_scale(value, low, high, bins)] += 1
+    labels = []
+    step = (high - low) / bins
+    for index in range(bins):
+        labels.append(f"{low + index * step:8.3g}-{low + (index + 1) * step:<8.3g}")
+    shares = [count / len(values) for count in counts]
+    return bar_chart(labels, shares, width=width, unit=unit)

@@ -1,0 +1,16 @@
+"""Transport-layer rate control: WebRTC's GCC and POI360's FBCC."""
+
+from repro.rate_control.base import RttEstimator, TransportController
+from repro.rate_control.pacer import PacedSender
+from repro.rate_control.gcc.controller import GccReceiver, GccSenderControl, GccTransport
+from repro.rate_control.fbcc.controller import FbccTransport
+
+__all__ = [
+    "RttEstimator",
+    "TransportController",
+    "PacedSender",
+    "GccReceiver",
+    "GccSenderControl",
+    "GccTransport",
+    "FbccTransport",
+]

@@ -1,0 +1,62 @@
+"""Interfaces shared by the GCC and FBCC transports."""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Dict, List
+
+from repro.lte.diagnostics import DiagRecord
+
+
+class TransportController(abc.ABC):
+    """Sender-side transport logic.
+
+    Exposes the two rates of the paper's Fig. 9 model: the video
+    encoding bitrate ``Rv`` handed to the encoder and the RTP sending
+    rate ``Rrtp`` enforced by the pacer.
+    """
+
+    name: str = "base"
+
+    @property
+    @abc.abstractmethod
+    def video_rate(self) -> float:
+        """Target encoding bitrate Rv (bps)."""
+
+    @property
+    @abc.abstractmethod
+    def pacing_rate(self) -> float:
+        """RTP sending rate Rrtp (bps)."""
+
+    @abc.abstractmethod
+    def on_feedback(self, message: Dict[str, Any], now: float) -> None:
+        """Consume a feedback message (REMB / receiver report) from the viewer."""
+
+    def on_diag(self, batch: List[DiagRecord]) -> None:
+        """Consume a diagnostic batch (no-op for end-to-end controllers)."""
+
+
+class RttEstimator:
+    """EWMA round-trip-time estimate from feedback echoes.
+
+    Every feedback message echoes the send timestamp of the most recent
+    media packet plus how long the viewer held it before reporting; the
+    sender subtracts both from its clock.
+    """
+
+    def __init__(self, initial: float = 0.15, alpha: float = 0.2):
+        self._rtt = initial
+        self._alpha = alpha
+        self.samples = 0
+
+    def on_echo(self, echoed_send_time: float, hold_time: float, now: float) -> None:
+        sample = now - echoed_send_time - hold_time
+        if sample <= 0.0:
+            return
+        self._rtt = (1.0 - self._alpha) * self._rtt + self._alpha * sample
+        self.samples += 1
+
+    @property
+    def rtt(self) -> float:
+        """Current smoothed RTT estimate (s)."""
+        return self._rtt

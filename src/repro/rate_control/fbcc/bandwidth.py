@@ -1,0 +1,46 @@
+"""Windowed-TBS uplink bandwidth estimator — Eq. (4)/(5) of §4.3.1.
+
+``R_phy = (Σ_w TBS_w) / W`` over a window of W one-millisecond
+subframes.  While the uplink is saturated (congestion detected), this
+throughput *is* the available uplink bandwidth, which is what FBCC cuts
+the encoder to.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Iterable
+
+from repro.lte.diagnostics import DiagRecord
+from repro.units import BITS_PER_BYTE
+
+#: Subframe length (s).
+SUBFRAME = 1e-3
+
+
+class TbsBandwidthEstimator:
+    """Running Σ TBS over the last W subframes."""
+
+    def __init__(self, window_subframes: int):
+        if window_subframes <= 0:
+            raise ValueError("window must be positive")
+        self._window = window_subframes
+        self._tbs: Deque[float] = deque(maxlen=window_subframes)
+        self._sum = 0.0
+
+    def on_record(self, record: DiagRecord) -> None:
+        if len(self._tbs) == self._window:
+            self._sum -= self._tbs[0]
+        self._tbs.append(record.tbs_bytes)
+        self._sum += record.tbs_bytes
+
+    def on_batch(self, batch: Iterable[DiagRecord]) -> None:
+        for record in batch:
+            self.on_record(record)
+
+    @property
+    def rate_bps(self) -> float:
+        """Eq. (4): PHY throughput over the window (bps)."""
+        if not self._tbs:
+            return 0.0
+        return self._sum * BITS_PER_BYTE / (len(self._tbs) * SUBFRAME)

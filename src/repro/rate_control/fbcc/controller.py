@@ -1,0 +1,63 @@
+"""The combined FBCC transport (§4.3).
+
+Wires the Eq. (3) detector, Eq. (4)/(5) bandwidth estimator, Eq. (6)
+encoding-rate control and Eq. (7) RTP-rate control to the diagnostic
+interface, while keeping a full legacy GCC sender underneath for the
+"congestion elsewhere" fallback and the RTT estimate.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from repro.config import FbccConfig, GccConfig
+from repro.lte.diagnostics import DiagRecord
+from repro.rate_control.base import TransportController
+from repro.rate_control.fbcc.bandwidth import TbsBandwidthEstimator
+from repro.rate_control.fbcc.detector import CongestionDetector
+from repro.rate_control.fbcc.encoding import EncodingRateControl
+from repro.rate_control.fbcc.rtp import RtpRateControl
+from repro.rate_control.gcc.controller import GccSenderControl
+from repro.sim.engine import Simulation
+
+
+class FbccTransport(TransportController):
+    """POI360's firmware-buffer-aware congestion control."""
+
+    name = "fbcc"
+
+    def __init__(self, sim: Simulation, fbcc_config: FbccConfig, gcc_config: GccConfig, diag_interval: float):
+        self._sim = sim
+        self._config = fbcc_config
+        self.gcc = GccSenderControl(gcc_config)
+        self.detector = CongestionDetector(fbcc_config)
+        self.bandwidth = TbsBandwidthEstimator(fbcc_config.tbs_window_subframes)
+        self.encoding = EncodingRateControl(
+            fbcc_config, gcc_rate=lambda: self.gcc.rate, rtt=lambda: self.gcc.rtt.rtt
+        )
+        self.rtp = RtpRateControl(
+            fbcc_config,
+            initial_rate=gcc_config.start_rate,
+            interval=diag_interval,
+            video_rate=lambda: self.video_rate,
+        )
+
+    @property
+    def video_rate(self) -> float:
+        """R_v per Eq. (6)."""
+        return self.encoding.rate(self._sim.now)
+
+    @property
+    def pacing_rate(self) -> float:
+        """R_rtp per Eq. (7)."""
+        return self.rtp.rate
+
+    def on_feedback(self, message: Dict[str, Any], now: float) -> None:
+        self.gcc.on_feedback(message, now)
+
+    def on_diag(self, batch: List[DiagRecord]) -> None:
+        """Consume one 40 ms diagnostic batch from the modem."""
+        self.bandwidth.on_batch(batch)
+        if self.detector.on_batch(batch):
+            self.encoding.on_congestion(self.bandwidth.rate_bps, self._sim.now)
+        self.rtp.on_batch(batch, self.bandwidth.rate_bps)

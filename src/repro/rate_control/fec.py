@@ -1,0 +1,154 @@
+"""Forward error correction (ULPFEC-style), the paper's [14].
+
+POI360 defers packet-loss handling to "WebRTC's builtin mechanisms";
+besides NACK retransmission (implemented in the receiver), WebRTC
+protects media with XOR parity packets.  One parity packet per group of
+``group_size`` media packets recovers any *single* loss in that group
+without waiting a NACK round-trip — which matters on LTE where the
+round trip is a large fraction of the frame budget.
+
+The simulation-level equivalent: the parity packet carries its group's
+packet metadata; when the group is complete-but-one and the parity has
+arrived, the decoder synthesises the missing packet.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set
+
+from repro.net.packet import Packet
+
+#: Groups older than this many newer groups are abandoned.
+GROUP_HISTORY = 64
+
+
+@dataclass
+class _GroupState:
+    """Receiver-side bookkeeping for one FEC group."""
+
+    metadata: Optional[List[dict]] = None  # from the parity packet
+    received: Set[int] = field(default_factory=set)
+    recovered: bool = False
+
+
+def _packet_meta(packet: Packet) -> dict:
+    """Metadata the parity packet carries for one protected packet."""
+    return {
+        "seq": packet.payload["seq"],
+        "size": packet.size_bytes,
+        "frame": packet.payload.get("frame"),
+        "frame_seq": packet.payload.get("frame_seq"),
+        "frame_packets": packet.payload.get("frame_packets"),
+    }
+
+
+class FecEncoder:
+    """Sender side: tags media packets and emits one parity per group."""
+
+    def __init__(self, group_size: int, send_parity: Callable[[Packet], None]):
+        if group_size < 2:
+            raise ValueError("FEC group size must be at least 2")
+        self.group_size = group_size
+        self._send_parity = send_parity
+        self._group_index = 0
+        self._members: List[dict] = []
+        self._max_size = 0.0
+        self._newest_created = 0.0
+        self.parity_sent = 0
+
+    def on_media(self, packet: Packet) -> None:
+        """Observe a just-sent media packet; may emit a parity packet."""
+        packet.payload["fec_group"] = self._group_index
+        self._members.append(_packet_meta(packet))
+        self._max_size = max(self._max_size, packet.size_bytes)
+        self._newest_created = max(self._newest_created, packet.created)
+        if len(self._members) >= self.group_size:
+            self._emit_parity()
+
+    def _emit_parity(self) -> None:
+        parity = Packet(
+            kind="fec",
+            # XOR parity is as large as the largest protected packet.
+            size_bytes=self._max_size,
+            created=self._newest_created,
+            payload={
+                "fec": True,
+                "fec_group": self._group_index,
+                "group_members": self._members,
+                "seq": None,  # parity rides outside the media seq space
+            },
+        )
+        self._send_parity(parity)
+        self.parity_sent += 1
+        self._group_index += 1
+        self._members = []
+        self._max_size = 0.0
+
+    @property
+    def overhead_ratio(self) -> float:
+        """Nominal bandwidth overhead of the protection (≈ 1/k)."""
+        return 1.0 / self.group_size
+
+
+class FecDecoder:
+    """Receiver side: recovers single losses from complete-but-one groups."""
+
+    def __init__(self) -> None:
+        self._groups: Dict[int, _GroupState] = {}
+        self.recovered_packets = 0
+
+    def _state(self, group: int) -> _GroupState:
+        state = self._groups.get(group)
+        if state is None:
+            state = self._groups[group] = _GroupState()
+            self._trim()
+        return state
+
+    def _trim(self) -> None:
+        while len(self._groups) > GROUP_HISTORY:
+            self._groups.pop(min(self._groups))
+
+    def on_media(self, packet: Packet) -> List[Packet]:
+        """Feed a protected media packet; returns any recovered packets."""
+        group = packet.payload.get("fec_group")
+        if group is None:
+            return []
+        state = self._state(group)
+        state.received.add(packet.payload["seq"])
+        return self._try_recover(group, state)
+
+    def on_parity(self, packet: Packet) -> List[Packet]:
+        """Feed a parity packet; returns any recovered packets."""
+        group = packet.payload["fec_group"]
+        state = self._state(group)
+        state.metadata = packet.payload["group_members"]
+        return self._try_recover(group, state)
+
+    def _try_recover(self, group: int, state: _GroupState) -> List[Packet]:
+        if state.recovered or state.metadata is None:
+            return []
+        missing = [m for m in state.metadata if m["seq"] not in state.received]
+        if len(missing) != 1:
+            if not missing:
+                state.recovered = True  # nothing to do, group complete
+            return []
+        state.recovered = True
+        self.recovered_packets += 1
+        meta = missing[0]
+        rebuilt = Packet(
+            kind="video",
+            size_bytes=meta["size"],
+            created=0.0,
+            payload={
+                "seq": meta["seq"],
+                "frame": meta["frame"],
+                "frame_seq": meta["frame_seq"],
+                "frame_packets": meta["frame_packets"],
+                # Recovered packets behave like retransmissions for the
+                # congestion estimator (stale timing, no loss credit).
+                "rtx": True,
+                "fec_recovered": True,
+            },
+        )
+        return [rebuilt]

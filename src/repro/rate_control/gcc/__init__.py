@@ -1,0 +1,26 @@
+"""Google Congestion Control — WebRTC's default rate control (baseline).
+
+A faithful reimplementation of the RMCAT draft GCC used as the paper's
+transport baseline (§2, §6.1.2): receiver-side delay-gradient estimation
+(packet grouping → trendline slope → adaptive-threshold overuse
+detector → AIMD remote rate), REMB feedback, and the sender-side
+loss-based controller.  Its structural sluggishness — probing up slowly
+and learning about congestion one RTT late — is what FBCC beats.
+"""
+
+from repro.rate_control.gcc.arrival import InterGroupFilter, TrendlineEstimator
+from repro.rate_control.gcc.overuse import OveruseDetector
+from repro.rate_control.gcc.aimd import AimdRateControl
+from repro.rate_control.gcc.loss import LossBasedControl
+from repro.rate_control.gcc.controller import GccReceiver, GccSenderControl, GccTransport
+
+__all__ = [
+    "InterGroupFilter",
+    "TrendlineEstimator",
+    "OveruseDetector",
+    "AimdRateControl",
+    "LossBasedControl",
+    "GccReceiver",
+    "GccSenderControl",
+    "GccTransport",
+]

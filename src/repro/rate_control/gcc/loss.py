@@ -1,0 +1,28 @@
+"""Sender-side loss-based controller of GCC.
+
+Per receiver report: more than 10% loss shrinks the rate, under 2%
+grows it 5%, in between holds.  The sender's final GCC rate is the
+minimum of this and the delay-based REMB from the receiver.
+"""
+
+from __future__ import annotations
+
+from repro.config import GccConfig
+
+
+class LossBasedControl:
+    """A_s(t) update from RTCP receiver-report loss fractions."""
+
+    def __init__(self, config: GccConfig):
+        self._config = config
+        self.rate = config.start_rate
+
+    def on_receiver_report(self, loss_fraction: float) -> float:
+        """Update and return the loss-based rate."""
+        loss = min(1.0, max(0.0, loss_fraction))
+        if loss > 0.10:
+            self.rate *= 1.0 - 0.5 * loss
+        elif loss < 0.02:
+            self.rate *= 1.05
+        self.rate = min(self._config.max_rate, max(self._config.min_rate, self.rate))
+        return self.rate

@@ -1,0 +1,74 @@
+"""Overuse detector with adaptive threshold.
+
+Compares the modified delay trend against a threshold γ that adapts to
+the trend magnitude (fast down, slow up) so GCC is not starved by
+concurrent TCP flows.  Overuse is only signalled after the trend stays
+above γ for a sustained time and is not decreasing — exactly the
+hysteresis that makes GCC's congestion detection take "at least one RTT
+(and often much longer)" in the paper's words.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.config import GccConfig
+
+#: γ is clamped into this range (scaled dimensionless trend units, as in
+#: WebRTC's trendline detector).
+THRESHOLD_MIN = 6.0
+THRESHOLD_MAX = 600.0
+
+#: Ignore threshold adaptation for wildly outlying trends.
+OUTLIER_FACTOR = 15.0
+
+
+class OveruseDetector:
+    """Maps a modified-trend series to {'normal', 'overuse', 'underuse'}."""
+
+    def __init__(self, config: GccConfig):
+        self._config = config
+        self._threshold = config.overuse_threshold
+        self._last_update: Optional[float] = None
+        self._overuse_start: Optional[float] = None
+        self._previous_trend = 0.0
+        self.state = "normal"
+
+    def update(self, trend: float, now: float) -> str:
+        """Feed one modified-trend sample; returns the detector state."""
+        self._adapt_threshold(trend, now)
+        if trend > self._threshold:
+            if self._overuse_start is None:
+                self._overuse_start = now
+            sustained = now - self._overuse_start >= self._config.overuse_time
+            if sustained and trend >= self._previous_trend:
+                self.state = "overuse"
+        elif trend < -self._threshold:
+            self._overuse_start = None
+            self.state = "underuse"
+        else:
+            self._overuse_start = None
+            self.state = "normal"
+        self._previous_trend = trend
+        return self.state
+
+    def _adapt_threshold(self, trend: float, now: float) -> None:
+        if self._last_update is None:
+            self._last_update = now
+            return
+        dt = min(0.1, now - self._last_update)
+        self._last_update = now
+        magnitude = abs(trend)
+        if magnitude > self._threshold + OUTLIER_FACTOR * THRESHOLD_MIN:
+            return
+        gain = (
+            self._config.threshold_gain_down
+            if magnitude < self._threshold
+            else self._config.threshold_gain_up
+        )
+        self._threshold += dt * gain * (magnitude - self._threshold) * 1000.0
+        self._threshold = min(THRESHOLD_MAX, max(THRESHOLD_MIN, self._threshold))
+
+    @property
+    def threshold(self) -> float:
+        return self._threshold

@@ -1,0 +1,163 @@
+"""RTP packet pacer over a frame-level media queue.
+
+Encoded frames queue at the application layer; the pacer packetises
+them into RTP packets as budget allows and hands them to the access hop
+(the LTE firmware buffer or the wireline link).  Transport sequence
+numbers are assigned **as packets leave** — WebRTC's pacer drops stale
+*frames* before packetisation, so a sender-side drop never occupies
+sequence space and is invisible to the receiver's loss accounting
+(unlike a genuine network loss).
+
+Retransmissions (NACKed packets, which already carry their original
+sequence number) jump the queue.  The pacer is the boundary between the
+two buffers of the paper's Fig. 9 model: what it does not send waits in
+the application layer, what it sends waits in the firmware buffer.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Callable, Deque, Optional
+
+from repro.net.packet import Packet
+from repro.sim.engine import Simulation
+from repro.units import BITS_PER_BYTE, ms
+from repro.video.frame import EncodedFrame
+
+PacketSink = Callable[[Packet], None]
+
+#: Pacing tick (WebRTC uses 5 ms).
+PACING_TICK = ms(5)
+
+#: Unused budget carries over at most this many ticks' worth (burst cap),
+#: but never less than one MTU so low rates still make progress.
+BURST_TICKS = 2.0
+MIN_BURST_BYTES = 1500.0
+
+#: Media older than this many seconds of queue is dropped from the head
+#: (WebRTC's pacer expires stale frames rather than shipping a slideshow).
+MAX_QUEUE_SECONDS = 1.0
+
+
+class _QueuedFrame:
+    __slots__ = ("frame", "payload_size", "total_packets", "next_index", "remaining")
+
+    def __init__(self, frame: EncodedFrame, payload_size: int):
+        self.frame = frame
+        self.payload_size = payload_size
+        self.total_packets = max(1, math.ceil(frame.size_bytes / payload_size))
+        self.next_index = 0
+        self.remaining = frame.size_bytes
+
+
+class PacedSender:
+    """Token-bucket pacer that packetises frames as they leave."""
+
+    def __init__(
+        self,
+        sim: Simulation,
+        sink: PacketSink,
+        rate_fn: Callable[[], float],
+        payload_size: int = 1200,
+        on_sent: Optional[PacketSink] = None,
+    ):
+        self._sim = sim
+        self._sink = sink
+        self._rate_fn = rate_fn
+        self._payload_size = payload_size
+        self._on_sent = on_sent
+        self._frames: Deque[_QueuedFrame] = deque()
+        self._retransmits: Deque[Packet] = deque()
+        self._budget_bytes = 0.0
+        self._queued_bytes = 0.0
+        self._seq = 0
+        self.bytes_paced = 0.0
+        self.dropped_frames = 0
+        sim.every(PACING_TICK, self._tick)
+
+    def enqueue_frame(self, frame: EncodedFrame) -> None:
+        """Queue a freshly encoded frame for packetisation."""
+        item = _QueuedFrame(frame, self._payload_size)
+        self._frames.append(item)
+        self._queued_bytes += item.remaining
+
+    def enqueue_retransmit(self, packet: Packet) -> None:
+        """Queue a retransmission (keeps its original sequence number)."""
+        self._retransmits.append(packet)
+
+    @property
+    def queued_bytes(self) -> float:
+        """Application-layer media backlog in bytes (fresh frames only)."""
+        return self._queued_bytes
+
+    @property
+    def queued_frames(self) -> int:
+        return len(self._frames)
+
+    @property
+    def next_seq(self) -> int:
+        return self._seq
+
+    def _send(self, packet: Packet) -> None:
+        packet.payload["sent"] = self._sim.now
+        self.bytes_paced += packet.size_bytes
+        if self._on_sent is not None:
+            self._on_sent(packet)
+        self._sink(packet)
+
+    def _emit_next_media_packet(self) -> Packet:
+        item = self._frames[0]
+        size = min(self._payload_size, item.remaining)
+        packet = Packet(
+            kind="video",
+            size_bytes=size,
+            created=item.frame.capture_time,
+            payload={
+                "frame": item.frame,
+                "frame_seq": item.next_index,
+                "frame_packets": item.total_packets,
+                "seq": self._seq,
+            },
+        )
+        self._seq += 1
+        item.next_index += 1
+        item.remaining -= size
+        self._queued_bytes -= size
+        if item.remaining <= 0:
+            self._frames.popleft()
+        return packet
+
+    def _tick(self) -> None:
+        rate = max(0.0, self._rate_fn())
+        self._expire_stale(rate)
+        tick_budget = rate * PACING_TICK / BITS_PER_BYTE
+        burst_cap = max(MIN_BURST_BYTES, BURST_TICKS * tick_budget)
+        self._budget_bytes = min(self._budget_bytes + tick_budget, burst_cap)
+        while self._retransmits and self._retransmits[0].size_bytes <= self._budget_bytes:
+            packet = self._retransmits.popleft()
+            self._budget_bytes -= packet.size_bytes
+            self._send(packet)
+        while self._frames and self._budget_bytes > 0:
+            head = self._frames[0]
+            size = min(self._payload_size, head.remaining)
+            if size > self._budget_bytes:
+                break
+            self._budget_bytes -= size
+            self._send(self._emit_next_media_packet())
+
+    def _expire_stale(self, rate: float) -> None:
+        """Drop the oldest not-yet-started frames beyond the queue cap.
+
+        The head frame may be partially on the wire and must complete
+        (the receiver is already assembling it); everything behind it is
+        droppable, oldest first — stale media is superseded anyway.
+        """
+        if rate <= 0.0:
+            return
+        max_bytes = rate * MAX_QUEUE_SECONDS / BITS_PER_BYTE
+        while self._queued_bytes > max_bytes and len(self._frames) > 1:
+            item = self._frames[1]
+            del self._frames[1]
+            self._queued_bytes -= item.remaining
+            self.dropped_frames += 1

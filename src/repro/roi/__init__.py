@@ -1,0 +1,8 @@
+"""Viewer substrate: head motion, user profiles, viewport mapping."""
+
+from repro.roi.head_motion import HeadMotion
+from repro.roi.prediction import MotionPredictor
+from repro.roi.users import USER_PROFILES, UserProfile
+from repro.roi.viewport import Viewport
+
+__all__ = ["HeadMotion", "MotionPredictor", "USER_PROFILES", "UserProfile", "Viewport"]

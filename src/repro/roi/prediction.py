@@ -1,0 +1,50 @@
+"""Motion-based ROI prediction — the §8 discussion, as an extension.
+
+The paper argues linear head-motion prediction only works at short
+horizons: at ≈60 deg/s average velocity and up to 500 deg/s² bursts,
+the head position 120 ms out is effectively unpredictable, which is why
+POI360 adapts the *compression profile* instead of betting on a
+predicted ROI.  This module implements the predictor so the claim can
+be measured (see ``benchmarks/test_ablation_prediction.py``).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional, Tuple
+
+
+class MotionPredictor:
+    """Constant-velocity extrapolation of the yaw/pitch trace."""
+
+    def __init__(self, history: int = 8):
+        self._poses: Deque[Tuple[float, float, float]] = deque(maxlen=history)
+
+    def observe(self, now: float, yaw: float, pitch: float) -> None:
+        """Record a pose sample (yaw unwrapped by the caller)."""
+        self._poses.append((now, yaw, pitch))
+
+    def velocity(self) -> Optional[Tuple[float, float]]:
+        """Least-squares (yaw, pitch) velocity over the history (deg/s)."""
+        if len(self._poses) < 2:
+            return None
+        times = [t for t, _, _ in self._poses]
+        mean_t = sum(times) / len(times)
+        den = sum((t - mean_t) ** 2 for t in times)
+        if den == 0.0:
+            return None
+        mean_yaw = sum(y for _, y, _ in self._poses) / len(self._poses)
+        yaw_vel = sum((t - mean_t) * (y - mean_yaw) for t, y, _ in self._poses) / den
+        mean_pitch = sum(p for _, _, p in self._poses) / len(self._poses)
+        pitch_vel = sum((t - mean_t) * (p - mean_pitch) for t, _, p in self._poses) / den
+        return (yaw_vel, pitch_vel)
+
+    def predict(self, horizon: float) -> Optional[Tuple[float, float]]:
+        """Predicted (yaw, pitch) ``horizon`` seconds past the last sample."""
+        if not self._poses:
+            return None
+        velocity = self.velocity()
+        _, yaw, pitch = self._poses[-1]
+        if velocity is None:
+            return (yaw, pitch)
+        return (yaw + velocity[0] * horizon, pitch + velocity[1] * horizon)

@@ -1,0 +1,124 @@
+"""Head-pose trace recording and replay.
+
+The synthetic head-motion model stands in for the paper's human users;
+when a real HMD trace is available (e.g. exported from a headset), this
+module plugs it in: :class:`HeadTrace` stores timestamped (yaw, pitch)
+samples with CSV round-tripping, :func:`record_trace` captures a trace
+from the synthetic model, and :class:`TraceHeadMotion` replays any
+trace inside a session (duck-typed to :class:`HeadMotion`, so
+``TelephonySession(..., head_trace=...)`` swaps it in transparently).
+"""
+
+from __future__ import annotations
+
+import csv
+from bisect import bisect_right
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Tuple, Union
+
+from repro.config import ViewerConfig
+from repro.sim.engine import Simulation
+from repro.sim.rng import RngRegistry
+
+PathLike = Union[str, Path]
+
+
+@dataclass(frozen=True)
+class HeadTrace:
+    """Timestamped head poses: (time s, yaw deg unwrapped, pitch deg)."""
+
+    samples: Tuple[Tuple[float, float, float], ...]
+
+    def __post_init__(self) -> None:
+        times = [t for t, _, _ in self.samples]
+        if len(times) < 2:
+            raise ValueError("a trace needs at least two samples")
+        if any(b <= a for a, b in zip(times, times[1:])):
+            raise ValueError("trace timestamps must be strictly increasing")
+
+    @property
+    def duration(self) -> float:
+        return self.samples[-1][0] - self.samples[0][0]
+
+    def pose_at(self, t: float) -> Tuple[float, float]:
+        """Linearly interpolated (yaw, pitch) at time ``t`` (clamped)."""
+        times = [s[0] for s in self.samples]
+        t = min(max(t, times[0]), times[-1])
+        index = bisect_right(times, t)
+        if index >= len(times):
+            _, yaw, pitch = self.samples[-1]
+            return (yaw, pitch)
+        if index == 0:
+            _, yaw, pitch = self.samples[0]
+            return (yaw, pitch)
+        t0, yaw0, pitch0 = self.samples[index - 1]
+        t1, yaw1, pitch1 = self.samples[index]
+        f = (t - t0) / (t1 - t0)
+        return (yaw0 + f * (yaw1 - yaw0), pitch0 + f * (pitch1 - pitch0))
+
+    def save_csv(self, path: PathLike) -> None:
+        with open(path, "w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(["time_s", "yaw_deg", "pitch_deg"])
+            for t, yaw, pitch in self.samples:
+                writer.writerow([f"{t:.6f}", f"{yaw:.4f}", f"{pitch:.4f}"])
+
+    @staticmethod
+    def load_csv(path: PathLike) -> "HeadTrace":
+        samples: List[Tuple[float, float, float]] = []
+        with open(path, newline="") as handle:
+            reader = csv.DictReader(handle)
+            for row in reader:
+                samples.append(
+                    (float(row["time_s"]), float(row["yaw_deg"]), float(row["pitch_deg"]))
+                )
+        return HeadTrace(samples=tuple(samples))
+
+
+def record_trace(
+    config: ViewerConfig,
+    duration: float,
+    seed: int = 0,
+    sample_interval: float = 0.02,
+) -> HeadTrace:
+    """Run the synthetic head-motion model and capture its trace."""
+    from repro.roi.head_motion import HeadMotion
+
+    sim = Simulation()
+    head = HeadMotion(sim, config, RngRegistry(seed).stream("head"))
+    samples: List[Tuple[float, float, float]] = []
+    sim.every(sample_interval, lambda: samples.append((sim.now, head.yaw, head.pitch)))
+    sim.run(duration)
+    return HeadTrace(samples=tuple(samples))
+
+
+class TraceHeadMotion:
+    """Replays a :class:`HeadTrace` (loops when the session outlives it).
+
+    Duck-typed to :class:`repro.roi.head_motion.HeadMotion`: exposes
+    ``yaw`` / ``pitch`` updated on the viewer cadence, which is all
+    :class:`repro.roi.viewport.Viewport` needs.
+    """
+
+    def __init__(self, sim: Simulation, config: ViewerConfig, trace: HeadTrace):
+        self._sim = sim
+        self._trace = trace
+        self._t0 = trace.samples[0][0]
+        self.yaw, self.pitch = trace.pose_at(self._t0)
+        sim.every(config.update_interval, self._update)
+
+    def _update(self) -> None:
+        offset = self._sim.now % max(1e-9, self._trace.duration)
+        self.yaw, self.pitch = self._trace.pose_at(self._t0 + offset)
+
+    @property
+    def in_saccade(self) -> bool:
+        return False  # unknown for recorded traces
+
+    @property
+    def angular_velocity(self) -> float:
+        now = self._sim.now % max(1e-9, self._trace.duration)
+        before = self._trace.pose_at(self._t0 + max(0.0, now - 0.02))
+        after = self._trace.pose_at(self._t0 + now)
+        return (after[0] - before[0]) / 0.02

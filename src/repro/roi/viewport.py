@@ -1,0 +1,33 @@
+"""Viewport: head pose → ROI tile, plus the FoV region around it."""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.compression.matrix import fov_tile_offsets, roi_region_tiles
+from repro.config import ViewerConfig
+from repro.roi.head_motion import HeadMotion
+from repro.video.frame import TileGrid
+
+
+class Viewport:
+    """Maps a :class:`HeadMotion` pose onto the tile grid."""
+
+    def __init__(self, grid: TileGrid, viewer_config: ViewerConfig, head: HeadMotion):
+        self._grid = grid
+        self._head = head
+        self._offsets = fov_tile_offsets(grid, viewer_config)
+
+    @property
+    def roi_center(self) -> Tuple[int, int]:
+        """Tile the gaze currently points at — (i*_c, j*_c) of §4.1."""
+        return self._grid.tile_of_angles(self._head.yaw, self._head.pitch)
+
+    def fov_tiles(self) -> List[Tuple[int, int]]:
+        """Tiles currently inside the HMD field of view."""
+        return roi_region_tiles(self._grid, self.roi_center, self._offsets)
+
+    @property
+    def pose(self) -> Tuple[float, float]:
+        """(yaw, pitch) in degrees."""
+        return (self._head.yaw % 360.0, self._head.pitch)

@@ -1,0 +1,6 @@
+"""Discrete-time simulation engine used by every POI360 substrate."""
+
+from repro.sim.engine import Simulation
+from repro.sim.rng import RngRegistry
+
+__all__ = ["Simulation", "RngRegistry"]

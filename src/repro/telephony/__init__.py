@@ -1,0 +1,16 @@
+"""Full POI360 telephony system: sender, receiver, session wiring."""
+
+from repro.telephony.receiver import PanoramicReceiver
+from repro.telephony.sender import PanoramicSender
+from repro.telephony.session import SessionResult, TelephonySession, run_session
+from repro.telephony.timestamping import decode_timestamp, encode_timestamp
+
+__all__ = [
+    "PanoramicReceiver",
+    "PanoramicSender",
+    "SessionResult",
+    "TelephonySession",
+    "run_session",
+    "encode_timestamp",
+    "decode_timestamp",
+]

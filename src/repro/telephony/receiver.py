@@ -1,0 +1,363 @@
+"""POI360 viewer/client (right half of Fig. 7).
+
+Assembles frames from RTP packets (with NACK-based recovery), unfolds
+them with the embedded compression matrix, renders the FoV region,
+measures the §5 metrics — timestamp-decoded frame delay, ROI-region
+PSNR (sender frame vs displayed ROI crop), displayed compression level
+— runs the Eq. (2) mismatch estimator, and feeds ROI + M back to the
+sender every frame interval over the data channel.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Set
+
+import numpy as np
+
+from repro.compression.mismatch import MismatchEstimator
+from repro.config import SessionConfig
+from repro.metrics.summary import SessionLog
+from repro.net.packet import Packet
+from repro.net.path import ReversePath
+from repro.rate_control.gcc.controller import GccReceiver
+from repro.roi.viewport import Viewport
+from repro.sim.engine import Simulation
+from repro.telephony.timestamping import decode_timestamp
+from repro.video.content import ContentModel
+from repro.video.frame import EncodedFrame, TileGrid
+from repro.video.quality import displayed_tile_psnr, mse_from_psnr, psnr_from_mse
+
+#: NACK retry cadence / limit and frame-abandon horizon.  Recovery is
+#: deliberately short-fused: an interactive frame more than ~a second
+#: late is superseded anyway, and retransmission storms during an uplink
+#: dip only deepen the congestion.
+NACK_RETRY_INTERVAL = 0.3
+NACK_MAX_RETRIES = 2
+NACK_GIVE_UP_AGE = 0.8
+FRAME_ABANDON_AFTER = 1.2
+
+#: Size of a data-channel feedback message (bytes on the wire).
+FEEDBACK_BYTES = 80.0
+
+
+@dataclass
+class _Assembly:
+    frame: EncodedFrame
+    total: int
+    got: Set[int] = field(default_factory=set)
+    first_arrival: float = 0.0
+    done: bool = False
+
+
+@dataclass
+class _MissingSeq:
+    detected: float
+    last_request: float
+    retries: int = 0
+
+
+class PanoramicReceiver:
+    """Frame assembly, rendering metrics, ROI/M feedback."""
+
+    def __init__(
+        self,
+        sim: Simulation,
+        config: SessionConfig,
+        grid: TileGrid,
+        content: ContentModel,
+        viewport: Viewport,
+        reverse: ReversePath,
+        gcc_receiver: GccReceiver,
+        log: SessionLog,
+        rng: np.random.Generator,
+    ):
+        self._sim = sim
+        self._config = config
+        self._grid = grid
+        self._content = content
+        self._viewport = viewport
+        self._reverse = reverse
+        self._gcc = gcc_receiver
+        self._log = log
+        self._rng = rng
+        self._mismatch = MismatchEstimator(
+            config.compression.mismatch_window, l_min=config.compression.l_min
+        )
+        if config.video.solid_angle_weighting:
+            from repro.video.projection import solid_angle_weights
+
+            self._tile_weights = solid_angle_weights(grid)
+        else:
+            self._tile_weights = None
+        if config.viewer.roi_prediction_horizon > 0.0:
+            from repro.roi.prediction import MotionPredictor
+
+            self._predictor = MotionPredictor()
+        else:
+            self._predictor = None
+        if config.fec.enabled:
+            from repro.rate_control.fec import FecDecoder
+
+            self._fec = FecDecoder()
+        else:
+            self._fec = None
+        self._assemblies: Dict[int, _Assembly] = {}
+        self._expected_seq = 0
+        self._missing: Dict[int, _MissingSeq] = {}
+        self._last_displayed_capture = float("-inf")
+        #: Recent frame delays; d_v of Eq. (2) is their median, which is
+        #: robust to startup transients and isolated stragglers.
+        self._recent_delays: Deque[float] = deque(maxlen=15)
+        #: RTP-style interarrival jitter estimate driving the adaptive
+        #: playout buffer (J += (|D| - J) / 16).
+        self._jitter = 0.0
+        self._last_complete: Optional[float] = None
+        self._last_complete_capture = 0.0
+        #: NTP sync error between the endpoints (§5).
+        self._clock_offset = float(rng.normal(0.0, 0.003))
+        interval = config.frame_interval()
+        sim.every(interval, self._send_roi_feedback)
+        sim.every(NACK_RETRY_INTERVAL, self._service_recovery)
+
+    # ------------------------------------------------------------------
+    # Media path
+    # ------------------------------------------------------------------
+
+    def on_media_packet(self, packet: Packet) -> None:
+        """Entry point for packets arriving from the forward path."""
+        now = self._sim.now
+        self._log.arrivals.append((now, packet.size_bytes))
+        self._gcc.on_media_packet(packet)
+        if packet.payload.get("fec"):
+            if self._fec is not None:
+                for recovered in self._fec.on_parity(packet):
+                    self._accept_media(recovered, now)
+            return
+        self._accept_media(packet, now)
+        if self._fec is not None:
+            for recovered in self._fec.on_media(packet):
+                self._accept_media(recovered, now)
+
+    def _accept_media(self, packet: Packet, now: float) -> None:
+        self._track_sequence(packet)
+        self._assemble(packet, now)
+
+    def _track_sequence(self, packet: Packet) -> None:
+        seq = packet.payload.get("seq")
+        if seq is None:
+            return
+        if packet.payload.get("rtx"):
+            self._missing.pop(seq, None)
+            return
+        if seq >= self._expected_seq:
+            gap = range(self._expected_seq, seq)
+            if gap:
+                now = self._sim.now
+                for missing in gap:
+                    self._missing[missing] = _MissingSeq(now, now)
+                self._send_nack(list(gap))
+            self._expected_seq = seq + 1
+        else:
+            self._missing.pop(seq, None)
+
+    def _assemble(self, packet: Packet, now: float) -> None:
+        frame: EncodedFrame = packet.payload["frame"]
+        assembly = self._assemblies.get(frame.frame_id)
+        if assembly is None:
+            assembly = _Assembly(
+                frame=frame, total=packet.payload["frame_packets"], first_arrival=now
+            )
+            self._assemblies[frame.frame_id] = assembly
+        if assembly.done:
+            return
+        assembly.got.add(packet.payload["frame_seq"])
+        if len(assembly.got) >= assembly.total:
+            assembly.done = True
+            self._update_jitter(frame, now)
+            render_latency = self._config.video.decode_latency + self.playout_delay
+            self._sim.schedule(render_latency, self._display, frame)
+
+    def _update_jitter(self, frame: EncodedFrame, now: float) -> None:
+        if self._last_complete is not None:
+            transit_delta = (now - self._last_complete) - (
+                frame.capture_time - self._last_complete_capture
+            )
+            self._jitter += (abs(transit_delta) - self._jitter) / 16.0
+        self._last_complete = now
+        self._last_complete_capture = frame.capture_time
+
+    @property
+    def frame_delay_estimate(self) -> float:
+        """d_v of Eq. (2): median of recent one-way frame delays."""
+        if not self._recent_delays:
+            return 0.1
+        ordered = sorted(self._recent_delays)
+        return ordered[len(ordered) // 2]
+
+    @property
+    def playout_delay(self) -> float:
+        """Current adaptive de-jitter buffering delay."""
+        video = self._config.video
+        return min(
+            video.playout_max,
+            max(video.playout_min, video.jitter_multiplier * self._jitter),
+        )
+
+    # ------------------------------------------------------------------
+    # Rendering & measurement
+    # ------------------------------------------------------------------
+
+    def _display(self, frame: EncodedFrame) -> None:
+        now = self._sim.now
+        sent_time = decode_timestamp(frame.timestamp_blocks, self._rng)
+        delay = (now + self._clock_offset) - sent_time
+        self._log.frame_delays.append(delay)
+        self._assemblies.pop(frame.frame_id, None)
+        if frame.capture_time <= self._last_displayed_capture:
+            return  # superseded by a newer frame already on screen
+        self._last_displayed_capture = frame.capture_time
+        self._recent_delays.append(min(2.0, max(0.0, delay)))
+
+        displayed_level = self._roi_region_level(frame)
+        mismatch = self._mismatch.observe_frame(
+            displayed_level,
+            self.frame_delay_estimate,
+            now,
+            converged_level=self._converged_region_level(frame),
+        )
+        self._log.mismatches.append(mismatch)
+        self._log.roi_levels.append((now, displayed_level))
+        self._log.roi_psnrs.append(self._roi_region_psnr(frame))
+        self._log.display_times.append(now)
+        self._log.frames_displayed += 1
+
+    def _roi_region_tiles(self):
+        half = self._config.video.roi_measure_halfwidth
+        i_star, j_star = self._viewport.roi_center
+        for dx in range(-half, half + 1):
+            for dy in range(-half, half + 1):
+                j = j_star + dy
+                if 0 <= j < self._grid.tiles_y:
+                    yield ((i_star + dx) % self._grid.tiles_x, j)
+
+    def _roi_region_level(self, frame: EncodedFrame) -> float:
+        """Mean compression level displayed in the ROI region (Fig. 12)."""
+        levels = [float(frame.matrix[i, j]) for i, j in self._roi_region_tiles()]
+        return sum(levels) / max(1, len(levels))
+
+    def _converged_region_level(self, frame: EncodedFrame) -> float:
+        """Region level the frame's own mode gives at a *fresh* ROI.
+
+        By symmetry this is the region level around the matrix's own
+        centre (the sender embeds mode + ROI knowledge in each frame,
+        so the client can evaluate it, §5).
+        """
+        half = self._config.video.roi_measure_halfwidth
+        i_star, j_star = frame.sender_roi
+        levels = []
+        for dx in range(-half, half + 1):
+            for dy in range(-half, half + 1):
+                j = j_star + dy
+                if 0 <= j < self._grid.tiles_y:
+                    levels.append(float(frame.matrix[(i_star + dx) % self._grid.tiles_x, j]))
+        return sum(levels) / max(1, len(levels))
+
+    def _roi_region_psnr(self, frame: EncodedFrame) -> float:
+        """MSE-domain PSNR over the ROI measurement crop — the §5 metric.
+
+        The client dumps the foveal crop around its gaze (a
+        ``(2k+1)²``-tile region); the intra-frame combination uses MSE
+        averaging, so one badly compressed tile inside the crop drags
+        the whole frame down — exactly what a viewer perceives when a
+        sharp profile leaks into view.
+        """
+        config = self._config.video
+        total_mse = 0.0
+        total_weight = 0.0
+        for i, j in self._roi_region_tiles():
+            complexity = self._content.complexity(i, j, frame.capture_time)
+            level = float(frame.matrix[i, j])
+            psnr = displayed_tile_psnr(frame.bpp, level, config, complexity)
+            weight = 1.0 if self._tile_weights is None else float(self._tile_weights[i, j])
+            total_mse += weight * mse_from_psnr(psnr)
+            total_weight += weight
+        return psnr_from_mse(total_mse / max(1e-12, total_weight))
+
+    # ------------------------------------------------------------------
+    # Feedback path
+    # ------------------------------------------------------------------
+
+    def _feedback(self, message: Dict) -> None:
+        packet = Packet(
+            kind="feedback",
+            size_bytes=FEEDBACK_BYTES,
+            created=self._sim.now,
+            payload={"message": message},
+        )
+        self._reverse.send(packet)
+
+    def send_transport_feedback(self, message: Dict) -> None:
+        """Used by the GCC receiver to emit REMB / receiver reports."""
+        self._feedback(message)
+
+    def _send_roi_feedback(self) -> None:
+        roi = self._viewport.roi_center
+        self._mismatch.observe_roi(roi, self._sim.now)
+        reported = roi
+        if self._predictor is not None:
+            reported = self._predicted_roi(fallback=roi)
+        self._feedback(
+            {"type": "roi", "roi": reported, "mismatch": self._mismatch.average()}
+        )
+
+    def _predicted_roi(self, fallback):
+        """§8 extension: report where the gaze will be, not where it is."""
+        yaw, pitch = self._viewport.pose
+        # Unwrap yaw against the previous sample so velocity estimation
+        # survives the 360° seam.
+        if self._predictor._poses:
+            last_yaw = self._predictor._poses[-1][1]
+            while yaw - last_yaw > 180.0:
+                yaw -= 360.0
+            while yaw - last_yaw < -180.0:
+                yaw += 360.0
+        self._predictor.observe(self._sim.now, yaw, pitch)
+        predicted = self._predictor.predict(
+            self._config.viewer.roi_prediction_horizon
+        )
+        if predicted is None:
+            return fallback
+        return self._grid.tile_of_angles(predicted[0], predicted[1])
+
+    def _send_nack(self, seqs: List[int]) -> None:
+        self._feedback({"type": "nack", "seqs": seqs})
+
+    def _service_recovery(self) -> None:
+        now = self._sim.now
+        retry: List[int] = []
+        for seq, state in list(self._missing.items()):
+            expired = (
+                state.retries >= NACK_MAX_RETRIES
+                or now - state.detected > NACK_GIVE_UP_AGE
+            )
+            if expired:
+                self._missing.pop(seq)
+                self._log.packets_lost += 1
+                continue
+            if now - state.last_request >= NACK_RETRY_INTERVAL:
+                state.retries += 1
+                state.last_request = now
+                retry.append(seq)
+        if retry:
+            self._send_nack(retry)
+        for frame_id, assembly in list(self._assemblies.items()):
+            if not assembly.done and now - assembly.first_arrival > FRAME_ABANDON_AFTER:
+                self._assemblies.pop(frame_id)
+                self._log.frames_lost += 1
+
+    @property
+    def mismatch_average(self) -> float:
+        """Current sliding-window M (exposed for tests)."""
+        return self._mismatch.average()

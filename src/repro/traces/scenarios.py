@@ -1,0 +1,135 @@
+"""The paper's §6 test environments as :class:`SessionConfig` factories.
+
+Each factory returns a base configuration; callers then pick scheme,
+transport, seed, duration and user profile on top (usually with
+:func:`dataclasses.replace`).  The radio parameters encode what the
+paper reports about each location:
+
+- RSS levels: -115 dBm (concrete parking garage), -82 dBm (shadowed
+  outdoor lot), -73 dBm (open lot); experiments run on an idle weekend
+  cell (§6.2).
+- Background load: early-morning idle vs just-after-class busy campus.
+- Driving: 15 / 30 / 50 mph; the highway route has high RSS
+  (≈ -60 dBm) but fast channel dynamics and handovers.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict
+
+from repro.config import CellConfig, ChannelConfig, LteConfig, PathConfig, SessionConfig
+
+
+def wireline(**overrides) -> SessionConfig:
+    """Both endpoints on the campus wireline network (§6.1.1)."""
+    return SessionConfig(path=PathConfig.for_wireline(), **overrides)
+
+
+def cellular(
+    rss_dbm: float = -82.0,
+    background_load: float = 0.15,
+    speed_mph: float = 0.0,
+    **overrides,
+) -> SessionConfig:
+    """LTE access with the given radio environment."""
+    channel = ChannelConfig(rss_dbm=rss_dbm, speed_mph=speed_mph)
+    cell = CellConfig(background_load=background_load)
+    lte = LteConfig(channel=channel, cell=cell)
+    return SessionConfig(path=PathConfig(access="lte"), lte=lte, **overrides)
+
+
+def idle_cell(**overrides) -> SessionConfig:
+    """Early morning, most users off campus (light load, Fig. 17a)."""
+    return cellular(background_load=0.05, **overrides)
+
+
+def busy_cell(**overrides) -> SessionConfig:
+    """Noon just after class (heavy competing uplink load, Fig. 17a)."""
+    return cellular(background_load=0.50, **overrides)
+
+
+def rss_scenario(level: str, **overrides) -> SessionConfig:
+    """'weak' (-115 dBm) / 'moderate' (-82) / 'strong' (-73), idle cell."""
+    rss = {"weak": -115.0, "moderate": -82.0, "strong": -73.0}
+    if level not in rss:
+        raise ValueError(f"unknown RSS level: {level!r}")
+    return cellular(rss_dbm=rss[level], background_load=0.05, **overrides)
+
+
+def driving(speed_mph: float, **overrides) -> SessionConfig:
+    """Vehicle test at 15 / 30 / 50 mph (Fig. 17e/f).
+
+    The highway (50 mph) route runs in the open with strong signal, the
+    urban routes have more shadowing; mobility itself adds channel
+    volatility and handovers.
+    """
+    if speed_mph >= 45:
+        rss = -62.0  # open highway, few blocking buildings
+    elif speed_mph >= 25:
+        rss = -80.0  # urban road
+    else:
+        rss = -78.0  # residential area
+    return cellular(
+        rss_dbm=rss, background_load=0.20, speed_mph=speed_mph, **overrides
+    )
+
+
+def subway(**overrides) -> SessionConfig:
+    """Underground commute: weak-ish signal with long periodic fades.
+
+    Not a paper scenario — a stress environment for the recovery paths
+    (tunnel segments read as multi-second deep fades).
+    """
+    channel = ChannelConfig(
+        rss_dbm=-100.0,
+        speed_mph=25.0,
+        deep_fade_rate_per_min=4.0,
+        deep_fade_depth_db=15.0,
+        deep_fade_duration=(2.0, 5.0),
+    )
+    lte = LteConfig(channel=channel, cell=CellConfig(background_load=0.3))
+    return SessionConfig(path=PathConfig(access="lte"), lte=lte, **overrides)
+
+
+def stadium(**overrides) -> SessionConfig:
+    """A packed venue: a crowd of explicitly-modelled competing UEs.
+
+    Not a paper scenario — exercises the competitor-cell model at heavy
+    load (repro.lte.competitors).
+    """
+    cell = CellConfig(background_load=0.7, competitor_count=40)
+    lte = LteConfig(channel=ChannelConfig(rss_dbm=-78.0), cell=cell)
+    return SessionConfig(path=PathConfig(access="lte"), lte=lte, **overrides)
+
+
+def scenario(name: str, **overrides) -> SessionConfig:
+    """Look up a named scenario."""
+    try:
+        factory = SCENARIOS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown scenario {name!r}; choose from {sorted(SCENARIOS)}"
+        ) from None
+    return factory(**overrides)
+
+
+SCENARIOS: Dict[str, Callable[..., SessionConfig]] = {
+    "wireline": wireline,
+    "cellular": cellular,
+    "idle_cell": idle_cell,
+    "busy_cell": busy_cell,
+    "rss_weak": lambda **kw: rss_scenario("weak", **kw),
+    "rss_moderate": lambda **kw: rss_scenario("moderate", **kw),
+    "rss_strong": lambda **kw: rss_scenario("strong", **kw),
+    "driving_15mph": lambda **kw: driving(15.0, **kw),
+    "driving_30mph": lambda **kw: driving(30.0, **kw),
+    "driving_50mph": lambda **kw: driving(50.0, **kw),
+    "subway": subway,
+    "stadium": stadium,
+}
+
+
+def with_scheme(config: SessionConfig, scheme: str, transport: str) -> SessionConfig:
+    """Convenience: swap scheme/transport on an existing config."""
+    return dataclasses.replace(config, scheme=scheme, transport=transport)

@@ -1,0 +1,75 @@
+"""Unit helpers and conventions used across the POI360 reproduction.
+
+Conventions (see DESIGN.md §6):
+
+- **time** is expressed in seconds as ``float``,
+- **data rates** are expressed in bits per second (``bps``),
+- **data sizes** are expressed in bytes.
+
+The helpers below exist so call sites can state their units explicitly
+(``ms(40)`` instead of a bare ``0.04``) and so conversions stay in one
+place.
+"""
+
+from __future__ import annotations
+
+#: Number of bits in one byte.
+BITS_PER_BYTE = 8
+
+#: Length of one LTE subframe (the scheduling granularity) in seconds.
+LTE_SUBFRAME = 1e-3
+
+
+def ms(value: float) -> float:
+    """Convert milliseconds to seconds."""
+    return value * 1e-3
+
+
+def us(value: float) -> float:
+    """Convert microseconds to seconds."""
+    return value * 1e-6
+
+
+def seconds_to_ms(value: float) -> float:
+    """Convert seconds to milliseconds."""
+    return value * 1e3
+
+
+def kbps(value: float) -> float:
+    """Convert kilobits per second to bits per second."""
+    return value * 1e3
+
+
+def mbps(value: float) -> float:
+    """Convert megabits per second to bits per second."""
+    return value * 1e6
+
+
+def bps_to_mbps(value: float) -> float:
+    """Convert bits per second to megabits per second."""
+    return value / 1e6
+
+
+def kbytes(value: float) -> float:
+    """Convert kibibytes to bytes (the paper reports buffer levels in KByte)."""
+    return value * 1024.0
+
+
+def bytes_to_kbytes(value: float) -> float:
+    """Convert bytes to kibibytes."""
+    return value / 1024.0
+
+
+def bytes_to_bits(value: float) -> float:
+    """Convert bytes to bits."""
+    return value * BITS_PER_BYTE
+
+
+def bits_to_bytes(value: float) -> float:
+    """Convert bits to bytes."""
+    return value / BITS_PER_BYTE
+
+
+def rate_to_bytes(rate_bps: float, duration_s: float) -> float:
+    """Amount of data (bytes) carried by ``rate_bps`` over ``duration_s``."""
+    return rate_bps * duration_s / BITS_PER_BYTE

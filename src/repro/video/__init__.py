@@ -1,0 +1,28 @@
+"""360-degree video substrate: frames, tiles, content, R-D model, encoder."""
+
+from repro.video.frame import EncodedFrame, TileGrid
+from repro.video.content import ContentModel
+from repro.video.encoder import FrameEncoder
+from repro.video.quality import (
+    MOS_BANDS,
+    combine_psnr_mse,
+    mos_band,
+    mse_from_psnr,
+    psnr_from_bpp,
+    psnr_from_mse,
+    scale_psnr,
+)
+
+__all__ = [
+    "EncodedFrame",
+    "TileGrid",
+    "ContentModel",
+    "FrameEncoder",
+    "MOS_BANDS",
+    "combine_psnr_mse",
+    "mos_band",
+    "mse_from_psnr",
+    "psnr_from_bpp",
+    "psnr_from_mse",
+    "scale_psnr",
+]

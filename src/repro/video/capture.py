@@ -1,0 +1,33 @@
+"""Virtual 360-degree webcam.
+
+Stands in for the paper's v4l2loopback virtual webcam (§6) that replays
+the same 4K panorama for repeatable traffic: fires a capture callback at
+the configured frame rate with strictly increasing frame timestamps.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.config import VideoConfig
+from repro.sim.engine import Simulation
+
+CaptureCallback = Callable[[int, float], None]
+
+
+class VideoSource:
+    """Emits (frame index, capture time) at ``fps``."""
+
+    def __init__(self, sim: Simulation, config: VideoConfig, on_frame: CaptureCallback):
+        self._sim = sim
+        self._on_frame = on_frame
+        self._index = 0
+        sim.every(1.0 / config.fps, self._capture)
+
+    def _capture(self) -> None:
+        self._on_frame(self._index, self._sim.now)
+        self._index += 1
+
+    @property
+    def frames_captured(self) -> int:
+        return self._index

@@ -1,0 +1,52 @@
+"""Synthetic 360-degree content model.
+
+Stands in for the paper's five real 4K test videos (one per user, §6):
+each tile has a base texture/motion complexity drawn once per video,
+plus a slow temporal modulation (scene activity moving around the
+panorama).  Complexity scales the bits a tile needs for a given quality
+in :func:`repro.video.quality.psnr_from_bpp`.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.video.frame import TileGrid
+
+#: Spread of per-tile base complexity (lognormal sigma).
+BASE_SIGMA = 0.25
+
+#: Amplitude and period of the travelling activity wave.
+WAVE_AMPLITUDE = 0.20
+WAVE_PERIOD = 25.0
+
+
+class ContentModel:
+    """Per-tile, time-varying content complexity (mean ≈ 1)."""
+
+    def __init__(self, grid: TileGrid, rng: np.random.Generator):
+        self._grid = grid
+        base = np.exp(rng.normal(0.0, BASE_SIGMA, size=(grid.tiles_x, grid.tiles_y)))
+        self._base = base / base.mean()
+        self._phase = rng.uniform(0.0, 2.0 * math.pi)
+
+    def complexity(self, i: int, j: int, t: float) -> float:
+        """Complexity of tile (i, j) at time ``t``."""
+        wave = 1.0 + WAVE_AMPLITUDE * math.sin(
+            2.0 * math.pi * (t / WAVE_PERIOD + i / self._grid.tiles_x) + self._phase
+        )
+        return float(self._base[i, j] * wave)
+
+    def complexity_map(self, t: float) -> np.ndarray:
+        """Complexity of every tile at time ``t`` (tiles_x × tiles_y)."""
+        i = np.arange(self._grid.tiles_x)[:, None]
+        wave = 1.0 + WAVE_AMPLITUDE * np.sin(
+            2.0 * math.pi * (t / WAVE_PERIOD + i / self._grid.tiles_x) + self._phase
+        )
+        return self._base * wave
+
+    def mean_complexity(self, t: float) -> float:
+        """Frame-average complexity at time ``t``."""
+        return float(self.complexity_map(t).mean())

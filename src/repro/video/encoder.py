@@ -1,0 +1,129 @@
+"""Rate-controlled frame encoder model (WebRTC's VP8 stage, §4).
+
+The encoder receives the spatially-compressed frame (described by its
+compression matrix) and a target bitrate ``Rv``, and emits a frame whose
+size tracks ``Rv / fps`` with realistic imperfections:
+
+- **size noise** — rate control is lognormally noisy, and noisier the
+  more compressed pixels must share a low bits-per-pixel budget (more
+  macroblocks → more quantiser-adaptation lag);
+- **keyframes** — periodic frames cost a multiple of the budget;
+- **quality ceiling** — a frame cannot usefully absorb more bits than
+  its pixel count at the minimum quantiser allows, so small (aggressively
+  compressed) frames undershoot large targets.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+import numpy as np
+
+from repro.config import VideoConfig
+from repro.video.content import ContentModel
+from repro.video.frame import EncodedFrame, TileGrid
+from repro.video.quality import anchor_bpp
+
+
+class FrameEncoder:
+    """Produces :class:`EncodedFrame` records from compression matrices."""
+
+    def __init__(
+        self,
+        config: VideoConfig,
+        grid: TileGrid,
+        content: ContentModel,
+        rng: np.random.Generator,
+    ):
+        self._config = config
+        self._grid = grid
+        self._content = content
+        self._rng = rng
+        self._frame_counter = 0
+        self._last_keyframe = float("-inf")
+        #: Cumulative over/undershoot vs target (a VBV-style debt the
+        #: rate control works off so long-run output tracks the target).
+        self._debt_bits = 0.0
+        self._previous_matrix: np.ndarray = np.array([])
+        #: Bits per pixel the encoder can usefully spend: the quality
+        #: saturation point times the min-quantiser waste factor.
+        self._bpp_ceiling = config.bits_ceiling_factor * anchor_bpp(config) * 2.0 ** (
+            (config.psnr_ceiling - config.rd_anchor_psnr) / config.rd_db_per_octave
+        )
+
+    def compressed_pixels(self, matrix: np.ndarray) -> float:
+        """Pixels in the frame after spatial compression by ``matrix``."""
+        return float((self._grid.tile_pixels / matrix).sum())
+
+    def floor_rate(self, matrix: np.ndarray) -> float:
+        """Minimum sustainable bitrate (bps) for frames under ``matrix``.
+
+        The max-quantiser floor means a spatial profile with many
+        pixels simply cannot be encoded below this rate — the quantity
+        the adaptive scheme consults before picking a conservative mode
+        on a starving uplink.
+        """
+        pixels = self.compressed_pixels(matrix)
+        return pixels * self._config.bpp_floor * self._config.fps
+
+    def _intra_fraction(self, matrix: np.ndarray, pixels: float) -> float:
+        """Pixel-weighted intra-coding need caused by level changes.
+
+        A tile whose compression level moved relative to the previous
+        frame loses temporal prediction in proportion to how far it
+        moved (its source resolution changed): the weight is
+        ``min(1, |log2(l_new / l_old)|)`` per tile.  A binary crop shift
+        (Conduit) re-encodes whole columns from scratch; a one-step mode
+        change (POI360) costs almost nothing.
+        """
+        if self._previous_matrix.shape != matrix.shape:
+            return 1.0  # first frame: everything is intra
+        weight = np.minimum(
+            1.0, np.abs(np.log2(matrix / self._previous_matrix))
+        )
+        changed_pixels = float((weight * self._grid.tile_pixels / matrix).sum())
+        return changed_pixels / max(1.0, pixels)
+
+    def encode(
+        self,
+        matrix: np.ndarray,
+        sender_roi: Tuple[int, int],
+        target_rate_bps: float,
+        now: float,
+    ) -> EncodedFrame:
+        """Encode one frame against ``target_rate_bps`` at time ``now``."""
+        config = self._config
+        pixels = self.compressed_pixels(matrix)
+        pixel_ratio = pixels / self._grid.total_pixels
+        nominal = max(1.0, target_rate_bps / config.fps)
+        budget = min(2.0 * nominal, max(0.25 * nominal, nominal - 0.5 * self._debt_bits))
+
+        keyframe = now - self._last_keyframe >= config.keyframe_interval
+        if keyframe:
+            self._last_keyframe = now
+            budget *= config.keyframe_factor
+
+        complexity = self._content.mean_complexity(now)
+        ceiling_bits = pixels * self._bpp_ceiling * complexity
+        floor_bits = pixels * config.bpp_floor * complexity
+        sigma = config.size_sigma_base + config.size_sigma_per_pixel_ratio * pixel_ratio
+        noise = math.exp(self._rng.normal(0.0, sigma))
+        intra = 1.0 + config.intra_refresh_penalty * self._intra_fraction(matrix, pixels)
+        size_bits = max(floor_bits, min(budget, ceiling_bits)) * noise * intra
+        self._debt_bits = 0.95 * self._debt_bits + (size_bits - nominal)
+        self._previous_matrix = matrix
+
+        frame = EncodedFrame(
+            frame_id=self._frame_counter,
+            capture_time=now,
+            send_start=now + config.encode_latency,
+            matrix=matrix,
+            sender_roi=sender_roi,
+            size_bits=size_bits,
+            bpp=size_bits / pixels,
+            pixel_ratio=pixel_ratio,
+            keyframe=keyframe,
+        )
+        self._frame_counter += 1
+        return frame

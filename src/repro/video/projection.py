@@ -1,0 +1,132 @@
+"""Sphere-to-plane projection geometry (§2 background).
+
+360° frames are captured on a sphere and mapped to a planar format.
+The paper's prototype uses the equirectangular projection; cubemap and
+pyramid projections are the alternatives it cites ([8], [10]).  This
+module provides the geometry those formats share:
+
+- angle ↔ unit-vector conversions,
+- per-tile **solid-angle weights** for an equirectangular tile grid —
+  equirectangular frames heavily oversample the poles, so a
+  perceptually honest quality average weights each tile by the solid
+  angle it actually covers on the sphere (optional in the receiver's
+  ROI-quality measurement, ``VideoConfig.solid_angle_weighting``),
+- cubemap face mapping (direction → face/u/v and back), enough to
+  resample an equirectangular tile layout onto a cube.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+import numpy as np
+
+from repro.video.frame import TileGrid
+
+#: Cubemap face names in the conventional +x..-z order.
+CUBE_FACES = ("+x", "-x", "+y", "-y", "+z", "-z")
+
+
+def angles_to_vector(yaw_deg: float, pitch_deg: float) -> Tuple[float, float, float]:
+    """Unit view vector for (yaw, pitch) in degrees.
+
+    Yaw 0 looks along +x, yaw grows toward +y; pitch 0 is the horizon,
+    +90 the zenith (+z).
+
+    >>> angles_to_vector(0.0, 0.0)
+    (1.0, 0.0, 0.0)
+    """
+    yaw = math.radians(yaw_deg)
+    pitch = math.radians(pitch_deg)
+    x = math.cos(pitch) * math.cos(yaw)
+    y = math.cos(pitch) * math.sin(yaw)
+    z = math.sin(pitch)
+    return (round(x, 15), round(y, 15), round(z, 15))
+
+
+def vector_to_angles(x: float, y: float, z: float) -> Tuple[float, float]:
+    """Inverse of :func:`angles_to_vector`: (yaw, pitch) in degrees."""
+    norm = math.sqrt(x * x + y * y + z * z)
+    if norm == 0.0:
+        raise ValueError("zero vector has no direction")
+    x, y, z = x / norm, y / norm, z / norm
+    yaw = math.degrees(math.atan2(y, x)) % 360.0
+    pitch = math.degrees(math.asin(max(-1.0, min(1.0, z))))
+    return (yaw, pitch)
+
+
+def tile_solid_angle(grid: TileGrid, j: int) -> float:
+    """Solid angle (steradians) covered by any tile in row ``j``.
+
+    An equirectangular row spans pitch ``[p0, p1]``; its band covers
+    ``2π (sin p1 - sin p0)`` steradians, split evenly among the row's
+    ``tiles_x`` tiles (every column is equivalent).
+    """
+    if not 0 <= j < grid.tiles_y:
+        raise ValueError(f"row {j} outside grid")
+    p0 = math.radians(-90.0 + 180.0 * j / grid.tiles_y)
+    p1 = math.radians(-90.0 + 180.0 * (j + 1) / grid.tiles_y)
+    band = 2.0 * math.pi * (math.sin(p1) - math.sin(p0))
+    return band / grid.tiles_x
+
+
+def solid_angle_weights(grid: TileGrid) -> np.ndarray:
+    """Per-tile solid-angle weights, normalised to mean 1.
+
+    >>> g = TileGrid(3840, 1920, 12, 8)
+    >>> w = solid_angle_weights(g)
+    >>> round(float(w.mean()), 6)
+    1.0
+    """
+    weights = np.empty((grid.tiles_x, grid.tiles_y))
+    for j in range(grid.tiles_y):
+        weights[:, j] = tile_solid_angle(grid, j)
+    return weights / weights.mean()
+
+
+def oversampling_factor(grid: TileGrid, j: int) -> float:
+    """How many times more pixels row ``j`` gets than its solid angle
+    deserves (1 at the equator for fine grids, → ∞ at the poles)."""
+    pixel_share = 1.0 / grid.num_tiles
+    angle_share = tile_solid_angle(grid, j) / (4.0 * math.pi)
+    return pixel_share / angle_share
+
+
+def direction_to_cube_face(x: float, y: float, z: float) -> Tuple[str, float, float]:
+    """Map a direction to (face, u, v) with u, v in [-1, 1]."""
+    ax, ay, az = abs(x), abs(y), abs(z)
+    if ax >= ay and ax >= az:
+        face = "+x" if x > 0 else "-x"
+        major, u, v = x, y, z
+    elif ay >= ax and ay >= az:
+        face = "+y" if y > 0 else "-y"
+        major, u, v = y, x, z
+    else:
+        face = "+z" if z > 0 else "-z"
+        major, u, v = z, x, y
+    if major == 0.0:
+        raise ValueError("zero vector has no direction")
+    return (face, u / abs(major), v / abs(major))
+
+
+def cube_face_to_direction(face: str, u: float, v: float) -> Tuple[float, float, float]:
+    """Inverse of :func:`direction_to_cube_face` (unnormalised)."""
+    if face == "+x":
+        return (1.0, u, v)
+    if face == "-x":
+        return (-1.0, u, v)
+    if face == "+y":
+        return (u, 1.0, v)
+    if face == "-y":
+        return (u, -1.0, v)
+    if face == "+z":
+        return (u, v, 1.0)
+    if face == "-z":
+        return (u, v, -1.0)
+    raise ValueError(f"unknown cube face: {face!r}")
+
+
+def equirect_to_cube_face(yaw_deg: float, pitch_deg: float) -> Tuple[str, float, float]:
+    """Which cubemap face (and where on it) a gaze direction lands."""
+    return direction_to_cube_face(*angles_to_vector(yaw_deg, pitch_deg))

@@ -1,0 +1,114 @@
+"""Rate-distortion and perceptual-quality models.
+
+Two distortion sources are modelled and combined in the MSE domain:
+
+1. **Encoding distortion** — a logarithmic R-D curve: PSNR grows by a
+   fixed number of dB per doubling of bits-per-pixel, anchored at the
+   full-quality operating point of the paper's 12.65 Mbps test video.
+2. **Spatial downscale distortion** — a tile compressed to level ``l``
+   (area shrunk ``l``-fold, Eq. 1) and upscaled for display loses high
+   frequencies: its PSNR cost is logarithmic in ``l``.
+
+MOS bands follow the paper's Table 1 (the PSNR→MOS mapping of Sen et
+al., SIGCOMM'10).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+from repro.config import VideoConfig
+
+#: Table 1 of the paper: (band name, inclusive lower PSNR bound).
+MOS_BANDS: Tuple[Tuple[str, float], ...] = (
+    ("excellent", 37.0),
+    ("good", 31.0),
+    ("fair", 25.0),
+    ("poor", 20.0),
+    ("bad", float("-inf")),
+)
+
+#: Order used when reporting MOS PDFs (worst → best, as in Fig. 11c/d).
+MOS_ORDER: Tuple[str, ...] = ("bad", "poor", "fair", "good", "excellent")
+
+_PEAK_SQUARED = 255.0 * 255.0
+
+
+def mse_from_psnr(psnr_db: float) -> float:
+    """Mean squared error corresponding to a PSNR (8-bit peak)."""
+    return _PEAK_SQUARED / (10.0 ** (psnr_db / 10.0))
+
+
+def psnr_from_mse(mse: float) -> float:
+    """PSNR (dB) for a mean squared error (8-bit peak)."""
+    if mse <= 0.0:
+        return float("inf")
+    return 10.0 * math.log10(_PEAK_SQUARED / mse)
+
+
+def anchor_bpp(config: VideoConfig) -> float:
+    """Bits-per-pixel of the full-quality encoded stream."""
+    bits_per_frame = config.full_quality_bitrate / config.fps
+    return bits_per_frame / (config.width * config.height)
+
+
+def psnr_from_bpp(bpp: float, config: VideoConfig, complexity: float = 1.0) -> float:
+    """Encoded PSNR for ``bpp`` bits per pixel of ``complexity``-hard content.
+
+    ``complexity`` scales the bits needed for a given quality: a tile
+    twice as complex needs twice the bits for the same PSNR.
+    """
+    if bpp <= 0.0:
+        return config.psnr_floor
+    effective = bpp / max(1e-9, complexity)
+    psnr = config.rd_anchor_psnr + config.rd_db_per_octave * math.log2(
+        effective / anchor_bpp(config)
+    )
+    return min(config.psnr_ceiling, max(config.psnr_floor, psnr))
+
+
+def scale_psnr(level: float, config: VideoConfig) -> float:
+    """PSNR cost of downscaling a tile to compression level ``level``.
+
+    Level 1 (no downscale) is lossless — returned as +inf so that the
+    MSE-domain combination adds nothing.
+    """
+    if level <= 1.0:
+        return float("inf")
+    return config.scale_anchor_psnr - config.scale_db_per_octave * math.log2(level)
+
+
+def combine_psnr_mse(*psnrs: float) -> float:
+    """Combine independent distortion stages by adding their MSEs."""
+    total = 0.0
+    for psnr in psnrs:
+        if psnr != float("inf"):
+            total += mse_from_psnr(psnr)
+    return psnr_from_mse(total)
+
+
+def displayed_tile_psnr(
+    bpp: float, level: float, config: VideoConfig, complexity: float = 1.0
+) -> float:
+    """PSNR of a displayed tile: encoding ⊕ downscale distortion.
+
+    ``bpp`` is bits per *compressed* pixel for the tile, ``level`` its
+    compression level in the frame's matrix.
+    """
+    encoded = psnr_from_bpp(bpp, config, complexity)
+    return combine_psnr_mse(encoded, scale_psnr(level, config))
+
+
+def mos_band(psnr_db: float) -> str:
+    """Map a frame PSNR to the paper's Table 1 MOS band.
+
+    >>> mos_band(40.0)
+    'excellent'
+    >>> mos_band(18.0)
+    'bad'
+    """
+    for name, lower in MOS_BANDS:
+        if psnr_db > lower:
+            return name
+    return "bad"

@@ -1,0 +1,64 @@
+"""Shared fixtures for the POI360 reproduction test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import (
+    CompressionConfig,
+    LteConfig,
+    SessionConfig,
+    VideoConfig,
+    ViewerConfig,
+)
+from repro.sim.engine import Simulation
+from repro.sim.rng import RngRegistry
+from repro.video.content import ContentModel
+from repro.video.frame import TileGrid
+
+
+@pytest.fixture
+def sim() -> Simulation:
+    return Simulation()
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return RngRegistry(seed=1234).stream("tests")
+
+
+@pytest.fixture
+def grid() -> TileGrid:
+    video = VideoConfig()
+    return TileGrid(video.width, video.height, video.tiles_x, video.tiles_y)
+
+
+@pytest.fixture
+def video_config() -> VideoConfig:
+    return VideoConfig()
+
+
+@pytest.fixture
+def viewer_config() -> ViewerConfig:
+    return ViewerConfig()
+
+
+@pytest.fixture
+def compression_config() -> CompressionConfig:
+    return CompressionConfig()
+
+
+@pytest.fixture
+def lte_config() -> LteConfig:
+    return LteConfig()
+
+
+@pytest.fixture
+def session_config() -> SessionConfig:
+    return SessionConfig(duration=10.0, seed=7)
+
+
+@pytest.fixture
+def content(grid, rng) -> ContentModel:
+    return ContentModel(grid, rng)

@@ -1,0 +1,30 @@
+"""Virtual webcam source."""
+
+import pytest
+
+from repro.config import VideoConfig
+from repro.sim.engine import Simulation
+from repro.video.capture import VideoSource
+
+
+def test_frames_fire_at_fps():
+    sim = Simulation()
+    frames = []
+    VideoSource(sim, VideoConfig(fps=30.0), lambda index, t: frames.append((index, t)))
+    sim.run(1.0)
+    assert len(frames) == 30
+    indices = [i for i, _ in frames]
+    assert indices == list(range(30))
+    times = [t for _, t in frames]
+    assert times[0] == pytest.approx(1 / 30)
+    gaps = [b - a for a, b in zip(times, times[1:])]
+    assert all(g == pytest.approx(1 / 30) for g in gaps)
+
+
+def test_custom_fps():
+    sim = Simulation()
+    source = VideoSource(sim, VideoConfig(fps=24.0), lambda i, t: None)
+    sim.run(2.0)
+    # The 48th tick lands on the boundary; float accumulation may push
+    # it a hair past the deadline.
+    assert source.frames_captured in (47, 48)

@@ -1,0 +1,63 @@
+"""Command-line interface."""
+
+import json
+
+import pytest
+
+from repro import cli
+
+
+def test_scenarios_lists_all(capsys):
+    assert cli.main(["scenarios"]) == 0
+    out = capsys.readouterr().out
+    for name in ("cellular", "wireline", "busy_cell", "driving_50mph"):
+        assert name in out
+
+
+def test_run_prints_summary(capsys):
+    code = cli.main(
+        ["run", "--scenario", "cellular", "--duration", "10", "--warmup", "0",
+         "--scheme", "poi360", "--transport", "gcc"]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "mean_psnr_db" in out
+    assert "excellent" in out
+
+
+def test_run_json_output(capsys):
+    code = cli.main(
+        ["run", "--scenario", "cellular", "--duration", "10", "--warmup", "0",
+         "--transport", "gcc", "--json"]
+    )
+    assert code == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["scheme"] == "poi360"
+    assert "freeze_ratio" in payload
+
+
+def test_run_rejects_fbcc_on_wireline(capsys):
+    code = cli.main(
+        ["run", "--scenario", "wireline", "--transport", "fbcc", "--duration", "5"]
+    )
+    assert code == 2
+
+
+def test_run_exports_trace(tmp_path, capsys):
+    trace = tmp_path / "t.json"
+    frames = tmp_path / "t.csv"
+    code = cli.main(
+        ["run", "--scenario", "cellular", "--duration", "8", "--warmup", "0",
+         "--transport", "gcc", "--export", str(trace), "--export-csv", str(frames)]
+    )
+    assert code == 0
+    assert trace.exists() and frames.exists()
+    from repro.metrics.export import read_json
+
+    log = read_json(trace)
+    assert log.frames_displayed > 50
+
+
+def test_unknown_scheme_rejected():
+    with pytest.raises(SystemExit):
+        cli.main(["run", "--scheme", "hologram"])

@@ -1,0 +1,76 @@
+"""Explicit competing-UE cell model."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.config import CellConfig
+from repro.lte.cell import CellLoadProcess
+from repro.lte.competitors import CompetitorCell, make_cell_model
+from repro.sim.engine import Simulation
+from repro.sim.rng import RngRegistry
+
+
+def _run_cell(config, seconds=300.0, seed=5):
+    sim = Simulation()
+    cell = make_cell_model(sim, config, RngRegistry(seed).stream("cell"))
+    samples = []
+    sim.every(0.25, lambda: samples.append(cell.load))
+    sim.run(seconds)
+    return cell, np.array(samples)
+
+
+def test_factory_selects_model():
+    sim = Simulation()
+    rng = RngRegistry(1).stream("x")
+    assert isinstance(
+        make_cell_model(sim, CellConfig(competitor_count=0), rng), CellLoadProcess
+    )
+    assert isinstance(
+        make_cell_model(sim, CellConfig(competitor_count=8), rng), CompetitorCell
+    )
+
+
+def test_load_tracks_configured_mean():
+    config = CellConfig(background_load=0.4, competitor_count=20)
+    _, samples = _run_cell(config)
+    assert abs(samples.mean() - 0.4) < 0.12
+
+
+def test_load_bounded():
+    config = CellConfig(background_load=0.8, competitor_count=10)
+    _, samples = _run_cell(config)
+    assert samples.max() <= 0.9
+    assert samples.min() >= 0.0
+
+
+def test_few_competitors_are_burstier_than_many():
+    few = CellConfig(background_load=0.4, competitor_count=3)
+    many = CellConfig(background_load=0.4, competitor_count=60)
+    _, few_samples = _run_cell(few)
+    _, many_samples = _run_cell(many)
+    assert few_samples.std() > many_samples.std()
+
+
+def test_active_count_varies():
+    config = CellConfig(background_load=0.5, competitor_count=12)
+    sim = Simulation()
+    cell = make_cell_model(sim, config, RngRegistry(7).stream("cell"))
+    counts = set()
+    sim.every(0.5, lambda: counts.add(cell.active_competitors))
+    sim.run(120.0)
+    assert len(counts) > 2  # the crowd churns
+
+
+def test_session_runs_with_competitor_cell():
+    from repro.telephony.session import run_session
+    from repro.traces.scenarios import cellular
+
+    base = cellular(scheme="poi360", transport="fbcc", duration=20.0, seed=3)
+    lte = dataclasses.replace(
+        base.lte, cell=dataclasses.replace(base.lte.cell, competitor_count=15)
+    )
+    config = dataclasses.replace(base, lte=lte)
+    result = run_session(config)
+    assert result.summary.frames_displayed > 300

@@ -1,0 +1,77 @@
+"""Eq. (1) matrices, plateaus, FoV geometry."""
+
+import numpy as np
+import pytest
+
+from repro.compression.matrix import (
+    build_mode_matrix,
+    fov_tile_offsets,
+    pixel_ratio,
+    roi_region_tiles,
+)
+from repro.config import ViewerConfig
+
+
+def test_roi_centre_is_lossless(grid):
+    matrix = build_mode_matrix(grid, (5, 4), 1.5)
+    assert matrix[5, 4] == 1.0
+
+
+def test_levels_follow_eq1(grid):
+    c = 1.4
+    matrix = build_mode_matrix(grid, (0, 0), c)
+    assert matrix[1, 0] == pytest.approx(c)
+    assert matrix[0, 2] == pytest.approx(c**2)
+    assert matrix[3, 2] == pytest.approx(c**5)
+
+
+def test_cyclic_shift_in_x(grid):
+    """Shifting the ROI cyclically shifts the matrix (§4.1)."""
+    c = 1.3
+    base = build_mode_matrix(grid, (0, 4), c)
+    shifted = build_mode_matrix(grid, (3, 4), c)
+    assert np.allclose(np.roll(base, 3, axis=0), shifted)
+
+
+def test_x_distance_wraps(grid):
+    matrix = build_mode_matrix(grid, (0, 4), 1.5)
+    assert matrix[11, 4] == pytest.approx(1.5)  # one step the short way round
+    assert matrix[6, 4] == pytest.approx(1.5**6)  # antipode
+
+
+def test_plateau_keeps_core_lossless(grid):
+    matrix = build_mode_matrix(grid, (5, 4), 1.8, plateau=(1, 1))
+    for di in (-1, 0, 1):
+        for dj in (-1, 0, 1):
+            assert matrix[5 + di, 4 + dj] == 1.0
+    assert matrix[7, 4] == pytest.approx(1.8)
+
+
+def test_matrix_symmetry_about_roi(grid):
+    matrix = build_mode_matrix(grid, (6, 4), 1.5)
+    assert matrix[5, 4] == matrix[7, 4]
+    assert matrix[6, 3] == matrix[6, 5]
+
+
+def test_pixel_ratio_bounds(grid):
+    uniform = np.ones((grid.tiles_x, grid.tiles_y))
+    assert pixel_ratio(uniform) == pytest.approx(1.0)
+    aggressive = build_mode_matrix(grid, (0, 4), 1.8)
+    conservative = build_mode_matrix(grid, (0, 4), 1.1)
+    assert 0.0 < pixel_ratio(aggressive) < pixel_ratio(conservative) < 1.0
+
+
+def test_fov_tile_offsets_match_hmd(grid):
+    offsets = fov_tile_offsets(grid, ViewerConfig(fov_x_deg=100.0, fov_y_deg=90.0))
+    xs = {dx for dx, _ in offsets}
+    ys = {dy for _, dy in offsets}
+    assert xs == {-1, 0, 1}
+    assert ys == {-2, -1, 0, 1, 2}
+
+
+def test_roi_region_tiles_wrap_and_clip(grid):
+    offsets = [(-1, 0), (0, 0), (1, 0), (0, -1), (0, 1)]
+    tiles = roi_region_tiles(grid, (0, 0), offsets)
+    assert (11, 0) in tiles  # wrapped in x
+    assert all(0 <= j < grid.tiles_y for _, j in tiles)
+    assert len(tiles) == 4  # (0, -1) clipped away

@@ -1,0 +1,60 @@
+"""Mode family and the M → mode selection rule."""
+
+import dataclasses
+
+import pytest
+
+from repro.compression.modes import ModeFamily
+from repro.config import CompressionConfig
+
+
+def test_eight_modes_by_default(compression_config):
+    family = ModeFamily(compression_config)
+    assert len(family) == 8
+
+
+def test_modes_ordered_by_decreasing_aggressiveness(compression_config):
+    family = ModeFamily(compression_config)
+    cs = [family[k].c for k in range(1, 9)]
+    assert cs[0] == pytest.approx(1.8)
+    assert cs[-1] == pytest.approx(1.1)
+    assert cs == sorted(cs, reverse=True)
+
+
+def test_mode_selection_buckets(compression_config):
+    family = ModeFamily(compression_config)
+    assert family.mode_for_mismatch(0.0).index == 1
+    assert family.mode_for_mismatch(0.15).index == 1
+    assert family.mode_for_mismatch(0.25).index == 2
+    assert family.mode_for_mismatch(0.65).index == 4
+    assert family.mode_for_mismatch(1.55).index == 8
+
+
+def test_mode_selection_clamps_high(compression_config):
+    family = ModeFamily(compression_config)
+    assert family.mode_for_mismatch(60.0).index == 8
+
+
+def test_mode_selection_clamps_negative(compression_config):
+    family = ModeFamily(compression_config)
+    assert family.mode_for_mismatch(-1.0).index == 1
+
+
+def test_mode_matrices_embed_plateau(compression_config, grid):
+    family = ModeFamily(compression_config)
+    matrix = family[1].matrix(grid, (5, 4))
+    assert matrix[6, 4] == 1.0  # inside the plateau
+    assert matrix[7, 4] == pytest.approx(1.8)
+
+
+def test_single_mode_family_rejected(compression_config):
+    config = dataclasses.replace(compression_config, num_modes=1)
+    with pytest.raises(ValueError):
+        ModeFamily(config)
+
+
+def test_custom_mode_count(compression_config):
+    config = dataclasses.replace(compression_config, num_modes=4)
+    family = ModeFamily(config)
+    assert len(family) == 4
+    assert family.mode_for_mismatch(10.0).index == 4

@@ -1,0 +1,109 @@
+"""POI360 adaptive scheme and the Conduit / Pyramid baselines."""
+
+import numpy as np
+import pytest
+
+from repro.compression import make_scheme
+from repro.compression.conduit import ConduitCompression
+from repro.compression.poi360 import AdaptiveCompression
+from repro.compression.pyramid import PyramidCompression
+from repro.config import CompressionConfig, ViewerConfig
+
+
+@pytest.fixture
+def schemes(compression_config, grid, viewer_config):
+    return {
+        name: make_scheme(name, compression_config, grid, viewer_config)
+        for name in ("poi360", "conduit", "pyramid")
+    }
+
+
+def test_factory_types(schemes):
+    assert isinstance(schemes["poi360"], AdaptiveCompression)
+    assert isinstance(schemes["conduit"], ConduitCompression)
+    assert isinstance(schemes["pyramid"], PyramidCompression)
+
+
+def test_factory_rejects_unknown(compression_config, grid, viewer_config):
+    with pytest.raises(ValueError):
+        make_scheme("hexaflexagon", compression_config, grid, viewer_config)
+
+
+def test_poi360_starts_conservative(schemes):
+    assert schemes["poi360"].current_mode.index == 8
+
+
+def test_poi360_adapts_to_mismatch(schemes):
+    scheme = schemes["poi360"]
+    scheme.update_mismatch(0.05)
+    assert scheme.current_mode.index == 1
+    scheme.update_mismatch(1.8)
+    assert scheme.current_mode.index == 8
+    assert scheme.mode_switches == 2
+
+
+def test_poi360_hysteresis_suppresses_boundary_flapping(schemes):
+    scheme = schemes["poi360"]
+    scheme.update_mismatch(0.30)  # solidly mode 2
+    assert scheme.current_mode.index == 2
+    # Hovering just past the 0.4 s boundary must not flip to mode 3 ...
+    scheme.update_mismatch(0.41)
+    assert scheme.current_mode.index == 2
+    # ... but clearly past it must.
+    scheme.update_mismatch(0.48)
+    assert scheme.current_mode.index == 3
+    # Same on the way back down.
+    scheme.update_mismatch(0.39)
+    assert scheme.current_mode.index == 3
+    scheme.update_mismatch(0.30)
+    assert scheme.current_mode.index == 2
+
+
+def test_poi360_matrix_follows_mode(schemes, grid):
+    scheme = schemes["poi360"]
+    scheme.update_mismatch(0.05)
+    aggressive = scheme.matrix((5, 4))
+    scheme.update_mismatch(1.8)
+    conservative = scheme.matrix((5, 4))
+    assert aggressive.max() > conservative.max()
+    assert aggressive[5, 4] == conservative[5, 4] == 1.0
+
+
+def test_conduit_is_binary(schemes, compression_config):
+    matrix = schemes["conduit"].matrix((5, 4))
+    values = set(np.unique(matrix))
+    assert values == {compression_config.l_min, compression_config.conduit_l_max}
+
+
+def test_conduit_crop_covers_fov(schemes, grid):
+    matrix = schemes["conduit"].matrix((5, 4))
+    # FoV offsets: ±1 in x, ±2 in y.
+    for dx in (-1, 0, 1):
+        for dy in (-2, -1, 0, 1, 2):
+            assert matrix[(5 + dx) % grid.tiles_x, 4 + dy] == 1.0
+    assert matrix[8, 4] == 64.0
+
+
+def test_conduit_ignores_mismatch(schemes):
+    scheme = schemes["conduit"]
+    before = scheme.matrix((5, 4))
+    scheme.update_mismatch(2.0)
+    after = scheme.matrix((5, 4))
+    assert np.array_equal(before, after)
+
+
+def test_pyramid_is_smooth_and_fixed(schemes, compression_config):
+    scheme = schemes["pyramid"]
+    matrix = scheme.matrix((5, 4))
+    assert matrix[5, 4] == 1.0
+    assert matrix[6, 4] == pytest.approx(compression_config.pyramid_c)
+    scheme.update_mismatch(2.0)
+    assert np.array_equal(matrix, scheme.matrix((5, 4)))
+
+
+def test_pyramid_less_aggressive_than_conduit(schemes):
+    from repro.compression.matrix import pixel_ratio
+
+    pyramid_ratio = pixel_ratio(schemes["pyramid"].matrix((5, 4)))
+    conduit_ratio = pixel_ratio(schemes["conduit"].matrix((5, 4)))
+    assert pyramid_ratio > conduit_ratio

@@ -1,0 +1,95 @@
+"""Binary diag-log codec."""
+
+import pytest
+
+from repro.lte.diag_log import (
+    DiagLogError,
+    StreamingDecoder,
+    decode_stream,
+    encode_frame,
+)
+from repro.lte.diagnostics import DiagRecord
+
+
+def _records(n=5, start=0.0):
+    return [
+        DiagRecord(time=start + i * 1e-3, buffer_bytes=1000.0 + i, tbs_bytes=500.0)
+        for i in range(n)
+    ]
+
+
+def test_roundtrip_single_frame():
+    records = _records(40)
+    decoded = decode_stream(encode_frame(records))
+    assert len(decoded) == 40
+    assert decoded[0].time == pytest.approx(records[0].time)
+    assert decoded[-1].buffer_bytes == pytest.approx(records[-1].buffer_bytes)
+    assert decoded[3].tbs_bytes == pytest.approx(500.0)
+
+
+def test_roundtrip_multiple_frames():
+    data = encode_frame(_records(10)) + encode_frame(_records(7, start=1.0))
+    decoded = decode_stream(data)
+    assert len(decoded) == 17
+
+
+def test_empty_frame():
+    assert decode_stream(encode_frame([])) == []
+
+
+def test_streaming_across_arbitrary_chunks():
+    data = encode_frame(_records(25)) + encode_frame(_records(25, start=2.0))
+    decoder = StreamingDecoder()
+    out = []
+    for i in range(0, len(data), 7):  # awkward 7-byte chunks
+        out.extend(decoder.feed(data[i : i + 7]))
+    assert len(out) == 50
+    assert decoder.frames_decoded == 2
+    assert decoder.pending_bytes == 0
+
+
+def test_partial_frame_waits():
+    data = encode_frame(_records(5))
+    decoder = StreamingDecoder()
+    assert decoder.feed(data[:10]) == []
+    assert decoder.pending_bytes == 10
+    assert len(decoder.feed(data[10:])) == 5
+
+
+def test_bad_magic_raises():
+    with pytest.raises(DiagLogError):
+        decode_stream(b"\x00\x00\x00\x00")
+
+
+def test_checksum_detects_corruption():
+    data = bytearray(encode_frame(_records(5)))
+    data[10] ^= 0xFF  # flip a payload byte
+    with pytest.raises(DiagLogError):
+        decode_stream(bytes(data))
+
+
+def test_trailing_garbage_detected():
+    data = encode_frame(_records(2)) + b"\xd0"
+    with pytest.raises(DiagLogError):
+        decode_stream(data)
+
+
+def test_decoder_matches_live_monitor():
+    """End-to-end: encode what the DiagMonitor batches, decode, compare."""
+    from repro.config import LteConfig
+    from repro.lte.ue import UeUplink
+    from repro.net.packet import Packet
+    from repro.sim.engine import Simulation
+    from repro.sim.rng import RngRegistry
+
+    sim = Simulation()
+    ue = UeUplink(sim, LteConfig(), RngRegistry(2).stream("ue"))
+    wire = bytearray()
+    direct = []
+    ue.diag.subscribe(lambda batch: wire.extend(encode_frame(batch)))
+    ue.diag.subscribe(direct.extend)
+    sim.every(0.004, lambda: ue.send(Packet(kind="v", size_bytes=1200, created=sim.now)))
+    sim.run(2.0)
+    decoded = decode_stream(bytes(wire))
+    assert len(decoded) == len(direct)
+    assert decoded[123].buffer_bytes == pytest.approx(direct[123].buffer_bytes)

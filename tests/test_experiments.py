@@ -1,0 +1,70 @@
+"""Experiment harness plumbing (tiny scales — shape checks live in
+benchmarks/)."""
+
+import pytest
+
+from repro.experiments import fig05, table1
+from repro.experiments.runner import (
+    ExperimentSettings,
+    clear_cache,
+    mean_of,
+    pooled_mos,
+    pooled_values,
+    run_sessions,
+)
+
+TINY = ExperimentSettings(duration=12.0, warmup=6.0, repetitions=1, num_users=1)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    clear_cache()
+    yield
+    clear_cache()
+
+
+def test_run_sessions_counts():
+    results = run_sessions("cellular", "poi360", "gcc", TINY)
+    assert len(results) == 1
+    settings = ExperimentSettings(duration=12.0, warmup=6.0, repetitions=2, num_users=2)
+    results = run_sessions("cellular", "poi360", "gcc", settings)
+    assert len(results) == 4
+
+
+def test_sessions_cached():
+    first = run_sessions("cellular", "poi360", "gcc", TINY)
+    second = run_sessions("cellular", "poi360", "gcc", TINY)
+    assert first is second
+
+
+def test_pooled_helpers():
+    results = run_sessions("cellular", "poi360", "gcc", TINY)
+    mos = pooled_mos(results)
+    assert sum(mos.values()) == pytest.approx(1.0)
+    psnrs = pooled_values(results, "roi_psnrs")
+    assert len(psnrs) == sum(len(r.log.roi_psnrs) for r in results)
+    assert mean_of(results, "freeze_ratio") >= 0.0
+
+
+def test_settings_scales():
+    assert ExperimentSettings.paper().duration == 300.0
+    assert ExperimentSettings.paper().num_users == 5
+    assert ExperimentSettings.quick().duration < 300.0
+
+
+def test_table1_matches_paper():
+    assert table1.verify_banding()
+    rows = dict(table1.table_rows())
+    assert rows["excellent"] == "> 37"
+    assert rows["bad"] == "< 20"
+
+
+def test_fig05_produces_monotone_shape():
+    points = fig05.buffer_throughput_curve(
+        rates_bps=[0.5e6, 2e6, 5e6], seconds_per_rate=8.0, warmup=2.0
+    )
+    assert len(points) > 10
+    slope = fig05.low_buffer_slope(points)
+    plateau = fig05.saturation_throughput(points)
+    assert slope > 0.05
+    assert plateau > 1.0

@@ -1,0 +1,83 @@
+"""Per-figure harness plumbing at tiny scale."""
+
+import pytest
+
+from repro.experiments import fig11, fig12, fig13, fig14, fig15, fig16, fig17
+from repro.experiments.runner import ExperimentSettings, clear_cache
+
+TINY = ExperimentSettings(duration=10.0, warmup=5.0, repetitions=1, num_users=1)
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _fresh_cache():
+    clear_cache()
+    yield
+    clear_cache()
+
+
+@pytest.fixture(scope="module")
+def rows11():
+    return fig11.quality_rows(TINY)
+
+
+def test_fig11_has_all_conditions(rows11):
+    assert len(rows11) == 6
+    row = fig11.row(rows11, "cellular", "poi360")
+    assert 15.0 < row.mean_psnr < 46.0
+    assert sum(row.mos_pdf.values()) == pytest.approx(1.0)
+    assert 0.0 <= row.good_or_better() <= 1.0
+
+
+def test_fig11_unknown_condition(rows11):
+    with pytest.raises(KeyError):
+        fig11.row(rows11, "cellular", "mpeg-dash")
+
+
+def test_fig12_ratios_normalised():
+    rows = fig12.stability_rows(TINY)
+    ratios = fig12.stability_ratios(rows)
+    assert ratios["poi360"] == 1.0
+    assert set(ratios) == {"poi360", "conduit", "pyramid"}
+
+
+def test_fig13_rows_and_lookup():
+    rows = fig13.delay_rows(TINY)
+    assert len(rows) == 6
+    assert fig13.median_of(rows, "wireline", "poi360") > 0.05
+    with pytest.raises(KeyError):
+        fig13.median_of(rows, "wireline", "nope")
+
+
+def test_fig14_table():
+    table = fig14.as_table(fig14.freeze_rows(TINY))
+    assert len(table) == 6
+    assert all(0.0 <= value <= 1.0 for value in table.values())
+
+
+def test_fig15_structures():
+    results = fig15.sweet_spot_scatter(TINY)
+    assert {r.transport for r in results} == {"gcc", "fbcc"}
+    for result in results:
+        fractions = result.region_fractions()
+        assert sum(fractions.values()) == pytest.approx(1.0)
+        assert result.mean_throughput() >= 0.0
+
+
+def test_fig16_rows():
+    rows = fig16.transport_rows(TINY)
+    fbcc = fig16.row(rows, "fbcc")
+    assert fbcc.throughput_mean > 0
+    assert 0 <= fbcc.relative_std
+    with pytest.raises(KeyError):
+        fig16.row(rows, "bbr")
+
+
+def test_fig17_families():
+    rows = fig17.system_rows(TINY)
+    assert len(rows) == len(fig17.CONDITIONS)
+    assert len(fig17.family_rows(rows, "rss")) == 3
+    weak = fig17.row(rows, "rss", "weak")
+    assert 0.0 <= weak.excellent() <= 1.0
+    assert 0.0 <= weak.poor_or_bad() <= 1.0
+    with pytest.raises(KeyError):
+        fig17.row(rows, "rss", "imaginary")

@@ -1,0 +1,74 @@
+"""Trace export/import."""
+
+import json
+
+import pytest
+
+from repro.metrics import export
+from repro.metrics.summary import SessionLog, SessionSummary
+
+
+def _log():
+    log = SessionLog()
+    log.start_time = 5.0
+    for index in range(30):
+        t = 5.0 + index / 30.0
+        log.frame_delays.append(0.25)
+        log.roi_psnrs.append(36.0)
+        log.display_times.append(t)
+        log.roi_levels.append((t, 1.1))
+        log.mismatches.append(0.3)
+        log.arrivals.append((t, 1200.0))
+    log.buffer_levels.append((5.0, 4096.0))
+    log.diag_seconds.append((2.5e6, 6000.0))
+    log.rate_trace.append((5.0, 2e6, 5e6))
+    log.frames_sent = 31
+    log.frames_displayed = 30
+    log.sent_bits = 2.4e6
+    return log
+
+
+def _summary(log):
+    return SessionSummary.from_log(log, "poi360", "fbcc", duration=1.0)
+
+
+def test_log_roundtrip_via_dict():
+    log = _log()
+    restored = export.log_from_dict(export.log_to_dict(log))
+    assert restored.frame_delays == log.frame_delays
+    assert restored.roi_levels == log.roi_levels
+    assert restored.frames_sent == log.frames_sent
+    assert restored.sent_bits == log.sent_bits
+
+
+def test_version_checked():
+    data = export.log_to_dict(_log())
+    data["version"] = 99
+    with pytest.raises(ValueError):
+        export.log_from_dict(data)
+
+
+def test_json_file_roundtrip(tmp_path):
+    log = _log()
+    path = tmp_path / "session.json"
+    export.write_json(path, log, _summary(log))
+    restored = export.read_json(path)
+    assert restored.frames_displayed == 30
+    payload = json.loads(path.read_text())
+    assert payload["summary"]["scheme"] == "poi360"
+    assert payload["summary"]["quality"]["mean_psnr_db"] == pytest.approx(36.0)
+
+
+def test_frames_csv(tmp_path):
+    path = tmp_path / "frames.csv"
+    rows = export.write_frames_csv(path, _log())
+    assert rows == 30
+    lines = path.read_text().strip().splitlines()
+    assert lines[0].startswith("display_time_s,")
+    assert len(lines) == 31
+
+
+def test_summary_dict_is_json_safe():
+    payload = export.summary_to_dict(_summary(_log()))
+    json.dumps(payload)  # must not raise
+    assert payload["freeze_ratio"] == 0.0

@@ -1,0 +1,52 @@
+"""FBCC windowed-TBS bandwidth estimator — Eq. (4)."""
+
+import pytest
+
+from repro.lte.diagnostics import DiagRecord
+from repro.rate_control.fbcc.bandwidth import TbsBandwidthEstimator
+
+
+def _record(tbs, t=0.0):
+    return DiagRecord(time=t, buffer_bytes=0.0, tbs_bytes=tbs)
+
+
+def test_empty_estimator_reports_zero():
+    assert TbsBandwidthEstimator(500).rate_bps == 0.0
+
+
+def test_rate_matches_constant_tbs():
+    estimator = TbsBandwidthEstimator(100)
+    for _ in range(100):
+        estimator.on_record(_record(250.0))  # 250 B per 1 ms subframe
+    assert estimator.rate_bps == pytest.approx(250 * 8 * 1000)
+
+
+def test_partial_window_uses_actual_length():
+    estimator = TbsBandwidthEstimator(1000)
+    for _ in range(10):
+        estimator.on_record(_record(125.0))
+    assert estimator.rate_bps == pytest.approx(125 * 8 * 1000)
+
+
+def test_window_slides():
+    estimator = TbsBandwidthEstimator(10)
+    for _ in range(10):
+        estimator.on_record(_record(100.0))
+    for _ in range(10):
+        estimator.on_record(_record(500.0))
+    assert estimator.rate_bps == pytest.approx(500 * 8 * 1000)
+
+
+def test_on_batch_equivalent_to_records():
+    a = TbsBandwidthEstimator(50)
+    b = TbsBandwidthEstimator(50)
+    batch = [_record(float(i)) for i in range(40)]
+    a.on_batch(batch)
+    for record in batch:
+        b.on_record(record)
+    assert a.rate_bps == pytest.approx(b.rate_bps)
+
+
+def test_invalid_window_rejected():
+    with pytest.raises(ValueError):
+        TbsBandwidthEstimator(0)

@@ -1,0 +1,110 @@
+"""Forward error correction (ULPFEC-style)."""
+
+import dataclasses
+
+import pytest
+
+from repro.net.packet import Packet
+from repro.rate_control.fec import FecDecoder, FecEncoder
+
+
+def _media(seq, size=1200.0):
+    return Packet(
+        kind="video",
+        size_bytes=size,
+        created=0.1 * seq,
+        payload={"seq": seq, "frame": f"frame-{seq // 5}", "frame_seq": seq % 5,
+                 "frame_packets": 5},
+    )
+
+
+def _protected_group(group_size=5, start_seq=0):
+    parities = []
+    encoder = FecEncoder(group_size, send_parity=parities.append)
+    packets = [_media(start_seq + i) for i in range(group_size)]
+    for packet in packets:
+        encoder.on_media(packet)
+    assert len(parities) == 1
+    return packets, parities[0]
+
+
+def test_parity_emitted_per_group():
+    parities = []
+    encoder = FecEncoder(4, send_parity=parities.append)
+    for seq in range(12):
+        encoder.on_media(_media(seq))
+    assert len(parities) == 3
+    assert encoder.parity_sent == 3
+    assert encoder.overhead_ratio == pytest.approx(0.25)
+
+
+def test_parity_size_matches_largest_member():
+    parities = []
+    encoder = FecEncoder(3, send_parity=parities.append)
+    encoder.on_media(_media(0, size=400))
+    encoder.on_media(_media(1, size=1200))
+    encoder.on_media(_media(2, size=800))
+    assert parities[0].size_bytes == 1200
+
+
+def test_group_size_validated():
+    with pytest.raises(ValueError):
+        FecEncoder(1, send_parity=lambda p: None)
+
+
+def test_single_loss_recovered():
+    packets, parity = _protected_group()
+    decoder = FecDecoder()
+    recovered = []
+    for packet in packets[:2] + packets[3:]:  # drop seq 2
+        recovered += decoder.on_media(packet)
+    assert not recovered  # parity not seen yet
+    recovered += decoder.on_parity(parity)
+    assert len(recovered) == 1
+    rebuilt = recovered[0]
+    assert rebuilt.payload["seq"] == 2
+    assert rebuilt.payload["fec_recovered"]
+    assert rebuilt.payload["rtx"]
+    assert decoder.recovered_packets == 1
+
+
+def test_recovery_with_parity_first():
+    packets, parity = _protected_group(start_seq=10)
+    decoder = FecDecoder()
+    recovered = list(decoder.on_parity(parity))
+    for packet in packets[1:]:
+        recovered += decoder.on_media(packet)
+    assert [p.payload["seq"] for p in recovered] == [10]
+
+
+def test_double_loss_not_recoverable():
+    packets, parity = _protected_group()
+    decoder = FecDecoder()
+    for packet in packets[2:]:  # drop seqs 0 and 1
+        decoder.on_media(packet)
+    assert decoder.on_parity(parity) == []
+    assert decoder.recovered_packets == 0
+
+
+def test_complete_group_recovers_nothing():
+    packets, parity = _protected_group()
+    decoder = FecDecoder()
+    for packet in packets:
+        assert decoder.on_media(packet) == []
+    assert decoder.on_parity(parity) == []
+
+
+def test_end_to_end_session_with_fec_and_loss():
+    from repro.telephony.session import run_session
+    from repro.traces.scenarios import cellular
+
+    base = cellular(scheme="poi360", transport="gcc", duration=25.0, seed=41)
+    lossy_path = dataclasses.replace(base.path, random_loss=0.02)
+    with_fec = dataclasses.replace(
+        base,
+        path=lossy_path,
+        fec=dataclasses.replace(base.fec, enabled=True, group_size=8),
+    )
+    result = run_session(with_fec)
+    assert result.summary.frames_displayed > 400
+    assert result.summary.freeze_ratio < 0.2

@@ -1,0 +1,83 @@
+"""POI360's rate-constrained mode selection (fit_to_rate)."""
+
+import pytest
+
+from repro.compression.poi360 import AdaptiveCompression
+from repro.config import CompressionConfig, VideoConfig
+from repro.sim.rng import RngRegistry
+from repro.units import mbps
+from repro.video.content import ContentModel
+from repro.video.encoder import FrameEncoder
+from repro.video.frame import TileGrid
+
+
+@pytest.fixture
+def encoder(grid, video_config):
+    rng = RngRegistry(4)
+    content = ContentModel(grid, rng.stream("content"))
+    return FrameEncoder(video_config, grid, content, rng.stream("encoder"))
+
+
+@pytest.fixture
+def scheme(compression_config, grid):
+    return AdaptiveCompression(compression_config, grid)
+
+
+def test_floor_rate_scales_with_pixels(encoder, scheme, grid):
+    scheme.update_mismatch(0.05)
+    aggressive = scheme.matrix((0, 4))
+    scheme.update_mismatch(5.0)
+    conservative = scheme.matrix((0, 4))
+    assert encoder.floor_rate(conservative) > encoder.floor_rate(aggressive)
+
+
+def test_generous_rate_leaves_mode_alone(encoder, scheme):
+    scheme.update_mismatch(5.0)  # desire mode 8
+    scheme.fit_to_rate(mbps(50.0), encoder.floor_rate)
+    assert scheme.current_mode.index == 8
+    assert scheme.rate_clamp_events == 0
+
+
+def test_starving_rate_clamps_conservative_desire(encoder, scheme):
+    scheme.update_mismatch(5.0)  # desire mode 8
+    scheme.fit_to_rate(mbps(1.2), encoder.floor_rate)
+    assert scheme.current_mode.index < 8
+    assert scheme.rate_clamp_events == 1
+    # The chosen mode actually fits.
+    matrix = scheme.matrix((0, 4))
+    assert encoder.floor_rate(matrix) <= scheme.RATE_FIT_MARGIN * mbps(1.2)
+
+
+def test_extreme_starvation_uses_emergency_crop(encoder, scheme):
+    scheme.update_mismatch(0.05)
+    scheme.fit_to_rate(mbps(0.4), encoder.floor_rate)
+    assert scheme.current_mode.index == 0
+    assert scheme.current_mode.plateau == (0, 0)
+
+
+def test_cap_releases_when_rate_recovers(encoder, scheme):
+    scheme.update_mismatch(5.0)
+    scheme.fit_to_rate(mbps(1.0), encoder.floor_rate)
+    clamped = scheme.current_mode.index
+    scheme.fit_to_rate(mbps(50.0), encoder.floor_rate)
+    assert scheme.current_mode.index == 8 > clamped
+
+
+def test_mode_switch_counter_tracks_effective_changes(encoder, scheme):
+    switches = scheme.mode_switches
+    scheme.fit_to_rate(mbps(50.0), encoder.floor_rate)  # no change
+    assert scheme.mode_switches == switches
+    scheme.fit_to_rate(mbps(1.0), encoder.floor_rate)  # clamp: change
+    assert scheme.mode_switches == switches + 1
+    scheme.fit_to_rate(mbps(1.0), encoder.floor_rate)  # steady: no change
+    assert scheme.mode_switches == switches + 1
+
+
+def test_fixed_schemes_ignore_fit(compression_config, grid, viewer_config, encoder):
+    from repro.compression import make_scheme
+
+    conduit = make_scheme("conduit", compression_config, grid, viewer_config)
+    before = conduit.matrix((3, 4))
+    conduit.fit_to_rate(mbps(0.1), encoder.floor_rate)
+    after = conduit.matrix((3, 4))
+    assert (before == after).all()

@@ -1,0 +1,118 @@
+"""GCC overuse detector, AIMD, and loss-based control."""
+
+import pytest
+
+from repro.config import GccConfig
+from repro.rate_control.gcc.aimd import AimdRateControl
+from repro.rate_control.gcc.loss import LossBasedControl
+from repro.rate_control.gcc.overuse import OveruseDetector
+from repro.units import mbps
+
+
+@pytest.fixture
+def gcc_config():
+    return GccConfig()
+
+
+class TestOveruseDetector:
+    def test_normal_for_small_trends(self, gcc_config):
+        detector = OveruseDetector(gcc_config)
+        for step in range(50):
+            state = detector.update(1.0, step * 0.01)
+        assert state == "normal"
+
+    def test_overuse_needs_sustained_trend(self, gcc_config):
+        detector = OveruseDetector(gcc_config)
+        assert detector.update(100.0, 0.0) != "overuse"  # not sustained yet
+        state = "normal"
+        for step in range(1, 10):
+            state = detector.update(100.0 + step, step * 0.01)
+        assert state == "overuse"
+
+    def test_underuse_for_negative_trend(self, gcc_config):
+        detector = OveruseDetector(gcc_config)
+        state = detector.update(-100.0, 0.0)
+        assert state == "underuse"
+
+    def test_threshold_adapts_toward_trend(self, gcc_config):
+        detector = OveruseDetector(gcc_config)
+        initial = detector.threshold
+        for step in range(200):
+            detector.update(10.0, step * 0.01)
+        assert detector.threshold != initial
+
+
+class TestAimd:
+    def test_multiplicative_increase_under_normal(self, gcc_config):
+        aimd = AimdRateControl(gcc_config)
+        rate = aimd.rate
+        for step in range(100):
+            rate = aimd.update("normal", incoming_rate=rate, now=step * 0.1)
+        assert rate > 1.5 * gcc_config.start_rate
+
+    def test_overuse_cuts_to_beta_incoming(self, gcc_config):
+        aimd = AimdRateControl(gcc_config)
+        aimd.rate = mbps(4.0)
+        rate = aimd.update("overuse", incoming_rate=mbps(3.0), now=10.0)
+        assert rate == pytest.approx(gcc_config.beta * mbps(3.0), rel=0.01)
+        assert aimd.decreases == 1
+
+    def test_decreases_are_rate_limited(self, gcc_config):
+        aimd = AimdRateControl(gcc_config)
+        aimd.rate = mbps(4.0)
+        aimd.update("overuse", incoming_rate=mbps(3.0), now=10.0)
+        aimd.update("overuse", incoming_rate=mbps(2.0), now=10.05)
+        assert aimd.decreases == 1  # second cut suppressed (too soon)
+        aimd.update("overuse", incoming_rate=mbps(2.0), now=10.05 + aimd.response_interval)
+        assert aimd.decreases == 2
+
+    def test_underuse_holds(self, gcc_config):
+        aimd = AimdRateControl(gcc_config)
+        before = aimd.rate
+        after = aimd.update("underuse", incoming_rate=before, now=1.0)
+        assert after == pytest.approx(before)
+        assert aimd.state == "hold"
+
+    def test_rate_tied_to_incoming(self, gcc_config):
+        aimd = AimdRateControl(gcc_config)
+        aimd.rate = mbps(10.0)
+        rate = aimd.update("normal", incoming_rate=mbps(1.0), now=1.0)
+        assert rate <= 1.5 * mbps(1.0) + 10_000
+
+    def test_rate_clamped_to_bounds(self, gcc_config):
+        aimd = AimdRateControl(gcc_config)
+        aimd.rate = gcc_config.min_rate
+        rate = aimd.update("overuse", incoming_rate=1_000.0, now=5.0)
+        assert rate >= gcc_config.min_rate
+
+
+class TestLossBased:
+    def test_heavy_loss_cuts_rate(self, gcc_config):
+        control = LossBasedControl(gcc_config)
+        before = control.rate
+        after = control.on_receiver_report(0.30)
+        assert after == pytest.approx(before * (1 - 0.5 * 0.30))
+
+    def test_low_loss_grows_rate(self, gcc_config):
+        control = LossBasedControl(gcc_config)
+        before = control.rate
+        assert control.on_receiver_report(0.0) == pytest.approx(before * 1.05)
+
+    def test_moderate_loss_holds(self, gcc_config):
+        control = LossBasedControl(gcc_config)
+        before = control.rate
+        assert control.on_receiver_report(0.05) == pytest.approx(before)
+
+    def test_rate_stays_in_bounds(self, gcc_config):
+        control = LossBasedControl(gcc_config)
+        for _ in range(200):
+            control.on_receiver_report(0.0)
+        assert control.rate <= gcc_config.max_rate
+        for _ in range(200):
+            control.on_receiver_report(0.9)
+        assert control.rate >= gcc_config.min_rate
+
+    def test_loss_fraction_clamped(self, gcc_config):
+        control = LossBasedControl(gcc_config)
+        control.on_receiver_report(5.0)  # nonsense input
+        assert control.rate >= gcc_config.min_rate

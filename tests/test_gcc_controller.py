@@ -1,0 +1,92 @@
+"""GCC receiver/sender wiring."""
+
+import pytest
+
+from repro.config import GccConfig
+from repro.net.packet import Packet
+from repro.rate_control.gcc.controller import GccReceiver, GccSenderControl, GccTransport
+from repro.sim.engine import Simulation
+from repro.units import mbps
+
+
+def _media_packet(seq, sent, size=1200.0, rtx=False):
+    payload = {"seq": seq, "sent": sent}
+    if rtx:
+        payload["rtx"] = True
+    return Packet(kind="video", size_bytes=size, created=sent, payload=payload)
+
+
+def test_receiver_emits_periodic_feedback():
+    sim = Simulation()
+    messages = []
+    receiver = GccReceiver(sim, GccConfig(), messages.append)
+    sim.run(3.5)
+    kinds = [m["type"] for m in messages]
+    assert kinds.count("remb") >= 3
+    assert kinds.count("rr") >= 3
+
+
+def test_receiver_tracks_incoming_rate():
+    sim = Simulation()
+    receiver = GccReceiver(sim, GccConfig(), lambda m: None)
+    for index in range(100):
+        sim.run(0.004)
+        receiver.on_media_packet(_media_packet(index, sim.now - 0.05))
+    # 1200 B / 4 ms = 2.4 Mbps.
+    assert receiver.incoming_rate() == pytest.approx(mbps(2.4), rel=0.2)
+
+
+def test_receiver_loss_accounting():
+    sim = Simulation()
+    messages = []
+    receiver = GccReceiver(sim, GccConfig(), messages.append)
+    seq = 0
+    for index in range(100):
+        sim.run(0.004)
+        if index % 4 == 3:
+            seq += 1  # skip one: 25% loss
+        receiver.on_media_packet(_media_packet(seq, sim.now - 0.05))
+        seq += 1
+    sim.run(1.1)
+    reports = [m for m in messages if m["type"] == "rr"]
+    assert reports
+    assert reports[-1]["loss"] == pytest.approx(0.2, abs=0.08)
+
+
+def test_rtx_excluded_from_loss():
+    sim = Simulation()
+    messages = []
+    receiver = GccReceiver(sim, GccConfig(), messages.append)
+    for index in range(50):
+        sim.run(0.004)
+        receiver.on_media_packet(_media_packet(index, sim.now - 0.05))
+        receiver.on_media_packet(_media_packet(index, sim.now - 0.3, rtx=True))
+    sim.run(1.1)
+    reports = [m for m in messages if m["type"] == "rr"]
+    assert reports[-1]["loss"] == pytest.approx(0.0, abs=0.02)
+
+
+def test_sender_combines_loss_and_remb():
+    sender = GccSenderControl(GccConfig())
+    sender.on_feedback({"type": "remb", "rate": mbps(1.0)}, now=1.0)
+    assert sender.rate == pytest.approx(min(mbps(1.0), sender.rate))
+    sender.on_feedback({"type": "remb", "rate": mbps(0.3)}, now=2.0)
+    assert sender.rate == pytest.approx(mbps(0.3))
+
+
+def test_sender_rtt_from_echo():
+    sender = GccSenderControl(GccConfig())
+    sender.on_feedback(
+        {"type": "rr", "loss": 0.0, "echo_send": 1.0, "echo_hold": 0.1}, now=1.4
+    )
+    # Sample = 1.4 - 1.0 - 0.1 = 0.3; EWMA moves toward it.
+    assert 0.15 < sender.rtt.rtt < 0.3
+    assert sender.rtt.samples == 1
+
+
+def test_transport_paces_faster_than_video_rate():
+    config = GccConfig()
+    transport = GccTransport(config)
+    assert transport.pacing_rate == pytest.approx(
+        transport.video_rate * config.pacing_factor
+    )

@@ -1,0 +1,90 @@
+"""Head-motion model and viewport mapping."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.config import ViewerConfig
+from repro.roi.head_motion import HeadMotion
+from repro.roi.users import USER_PROFILES, profile_by_name
+from repro.roi.viewport import Viewport
+from repro.sim.engine import Simulation
+from repro.sim.rng import RngRegistry
+
+
+def _run_motion(config=None, seconds=60.0, seed=5):
+    sim = Simulation()
+    head = HeadMotion(sim, config or ViewerConfig(), RngRegistry(seed).stream("head"))
+    poses = []
+    sim.every(0.02, lambda: poses.append((sim.now, head.yaw, head.pitch)))
+    sim.run(seconds)
+    return head, poses
+
+
+def test_pitch_stays_in_limits():
+    config = ViewerConfig()
+    _, poses = _run_motion(config, seconds=120)
+    pitches = [p for _, _, p in poses]
+    assert max(pitches) <= config.pitch_limit + 1e-6
+    assert min(pitches) >= -config.pitch_limit - 1e-6
+
+
+def test_saccades_and_pursuits_occur():
+    head, _ = _run_motion(seconds=120)
+    assert head.saccades >= 3
+    assert head.pursuits >= 3
+
+
+def test_velocity_capped_by_acceleration_budget():
+    config = ViewerConfig()
+    _, poses = _run_motion(config, seconds=120)
+    yaws = np.array([y for _, y, _ in poses])
+    velocities = np.abs(np.diff(yaws)) / 0.02
+    # Angular velocity cannot exceed the saccade peak by much (paper §8:
+    # mean ~60 deg/s; our peaks are Gaussian around the profile mean).
+    assert velocities.max() < 250.0
+
+
+def test_head_keeps_moving():
+    """Continuous drift means the gaze never freezes for long."""
+    _, poses = _run_motion(seconds=60)
+    yaws = np.array([y for _, y, _ in poses])
+    window = 100  # 2 s of samples
+    stalls = 0
+    for start in range(0, len(yaws) - window, window):
+        if np.ptp(yaws[start : start + window]) < 1e-3:
+            stalls += 1
+    assert stalls == 0
+
+
+def test_profiles_change_behaviour():
+    calm = profile_by_name("user1-calm").apply(ViewerConfig())
+    restless = profile_by_name("user4-restless").apply(ViewerConfig())
+    calm_head, _ = _run_motion(calm, seconds=120, seed=9)
+    restless_head, _ = _run_motion(restless, seconds=120, seed=9)
+    assert restless_head.saccades + restless_head.pursuits >= calm_head.saccades + calm_head.pursuits
+
+
+def test_unknown_profile_raises():
+    with pytest.raises(KeyError):
+        profile_by_name("user99")
+
+
+def test_profiles_unique_names():
+    names = [p.name for p in USER_PROFILES]
+    assert len(set(names)) == len(names) == 5
+
+
+def test_viewport_maps_pose_to_tiles(grid):
+    sim = Simulation()
+    config = ViewerConfig()
+    head = HeadMotion(sim, config, RngRegistry(2).stream("head"))
+    viewport = Viewport(grid, config, head)
+    head.yaw, head.pitch = 45.0, 0.0
+    assert viewport.roi_center == (1, 4)
+    tiles = viewport.fov_tiles()
+    assert viewport.roi_center in tiles
+    assert len(tiles) == 15  # 3 x 5 FoV region
+    yaw, pitch = viewport.pose
+    assert 0 <= yaw < 360

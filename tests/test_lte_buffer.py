@@ -1,0 +1,72 @@
+"""Firmware buffer semantics."""
+
+import pytest
+
+from repro.lte.firmware_buffer import FirmwareBuffer
+from repro.net.packet import Packet
+
+
+def _packet(size=1000.0):
+    return Packet(kind="video", size_bytes=size, created=0.0)
+
+
+def test_push_increases_level():
+    buffer = FirmwareBuffer(capacity_bytes=10_000)
+    assert buffer.push(_packet(1000))
+    assert buffer.level == 1000
+    assert len(buffer) == 1
+
+
+def test_push_over_capacity_drops():
+    buffer = FirmwareBuffer(capacity_bytes=1500)
+    assert buffer.push(_packet(1000))
+    assert not buffer.push(_packet(1000))
+    assert buffer.level == 1000
+    assert buffer.dropped_packets == 1
+    assert buffer.dropped_bytes == 1000
+
+
+def test_drain_partial_packet_keeps_boundary():
+    buffer = FirmwareBuffer(capacity_bytes=10_000)
+    packet = _packet(1000)
+    buffer.push(packet)
+    completed = buffer.drain(400)
+    assert completed == []
+    assert buffer.level == pytest.approx(600)
+    completed = buffer.drain(600)
+    assert completed == [packet]
+    assert buffer.level == 0
+
+
+def test_drain_spans_multiple_packets():
+    buffer = FirmwareBuffer(capacity_bytes=10_000)
+    packets = [_packet(500) for _ in range(4)]
+    for packet in packets:
+        buffer.push(packet)
+    completed = buffer.drain(1200)
+    assert completed == packets[:2]
+    assert buffer.level == pytest.approx(800)
+
+
+def test_drain_more_than_level():
+    buffer = FirmwareBuffer(capacity_bytes=10_000)
+    packet = _packet(700)
+    buffer.push(packet)
+    completed = buffer.drain(5000)
+    assert completed == [packet]
+    assert buffer.level == 0
+
+
+def test_drain_empty_buffer():
+    buffer = FirmwareBuffer(capacity_bytes=1000)
+    assert buffer.drain(100) == []
+    assert buffer.level == 0
+
+
+def test_fifo_order_preserved():
+    buffer = FirmwareBuffer(capacity_bytes=10_000)
+    first, second = _packet(100), _packet(100)
+    buffer.push(first)
+    buffer.push(second)
+    assert buffer.drain(100) == [first]
+    assert buffer.drain(100) == [second]

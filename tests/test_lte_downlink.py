@@ -1,0 +1,95 @@
+"""eNodeB downlink model for the viewer's phone."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.config import CellConfig, ChannelConfig, DownlinkConfig, LteConfig, PathConfig
+from repro.lte.downlink import EnbDownlink
+from repro.net.packet import Packet
+from repro.net.path import ForwardPath
+from repro.sim.engine import Simulation
+from repro.sim.rng import RngRegistry
+from repro.units import BITS_PER_BYTE, kbytes, mbps
+
+
+def _quiet_config(**overrides):
+    return DownlinkConfig(
+        channel=ChannelConfig(
+            rss_dbm=-80.0, shadow_sigma_db=0.01, deep_fade_rate_per_min=0.0
+        ),
+        cell=CellConfig(background_load=0.1, load_sigma=0.0),
+        **overrides,
+    )
+
+
+def _run_downlink(rate_bps, seconds=15.0, config=None, seed=3):
+    sim = Simulation()
+    arrivals = []
+    downlink = EnbDownlink(
+        sim, config or _quiet_config(), RngRegistry(seed).stream("dl"), sink=arrivals.append
+    )
+    interval = 1200 * BITS_PER_BYTE / rate_bps
+    sim.every(interval, lambda: downlink.deliver(
+        Packet(kind="video", size_bytes=1200, created=sim.now)))
+    sim.run(seconds)
+    return downlink, arrivals
+
+
+def test_packets_flow_at_video_rates():
+    downlink, arrivals = _run_downlink(mbps(3.0))
+    delivered = sum(p.size_bytes for p in arrivals) * 8 / 15.0
+    assert delivered == pytest.approx(3e6, rel=0.1)
+    assert downlink.dropped_packets == 0
+
+
+def test_downlink_has_large_capacity():
+    """A downlink carries far more than the uplink's few Mbps."""
+    downlink, arrivals = _run_downlink(mbps(12.0), seconds=20.0)
+    delivered = sum(p.size_bytes for p in arrivals) * 8 / 20.0
+    assert delivered > 8e6
+
+
+def test_overload_queues_then_drops():
+    config = _quiet_config(prb_quota=4, p_max=0.3, queue_cap_bytes=kbytes(64))
+    downlink, _ = _run_downlink(mbps(12.0), seconds=10.0, config=config)
+    assert downlink.queued_bytes > 0
+    assert downlink.dropped_packets > 0
+
+
+def test_service_is_bursty():
+    _, arrivals = _run_downlink(mbps(3.0), seconds=20.0)
+    times = np.array([p.arrived for p in arrivals])
+    gaps = np.diff(times)
+    # A mix of back-to-back service and idle gaps, not a smooth clock.
+    assert gaps.max() > 4 * np.median(gaps[gaps > 0]) if (gaps > 0).any() else True
+
+
+def test_forward_path_with_lte_downlink():
+    sim = Simulation()
+    path_config = PathConfig(
+        access="lte", downlink_lte=_quiet_config(), random_loss=0.0
+    )
+    path = ForwardPath(sim, path_config, LteConfig(), RngRegistry(5).stream("f"))
+    assert path.downlink is not None
+    arrivals = []
+    path.set_receiver(arrivals.append)
+    for _ in range(10):
+        path.send(Packet(kind="video", size_bytes=1000, created=sim.now))
+    sim.run(3.0)
+    assert len(arrivals) == 10
+    assert path.lost_packets == 0
+
+
+def test_full_session_with_lte_downlink():
+    from repro.telephony.session import TelephonySession
+    from repro.traces.scenarios import cellular
+
+    base = cellular(scheme="poi360", transport="gcc", duration=20.0, seed=9)
+    config = dataclasses.replace(
+        base, path=dataclasses.replace(base.path, downlink_lte=DownlinkConfig())
+    )
+    result = TelephonySession(config).run(20.0)
+    assert result.summary.frames_displayed > 300
+    assert result.summary.delay.median < 1.0

@@ -1,0 +1,51 @@
+"""CQI / TBS mapping."""
+
+import pytest
+
+from repro.lte import tbs
+
+
+def test_efficiency_monotone_in_cqi():
+    efficiencies = [tbs.efficiency_for_cqi(c) for c in range(1, 16)]
+    assert efficiencies == sorted(efficiencies)
+    assert all(e > 0 for e in efficiencies)
+
+
+def test_cqi_zero_means_outage():
+    assert tbs.efficiency_for_cqi(0) == 0.0
+    assert tbs.transport_block_bytes(0, 10) == 0.0
+
+
+def test_cqi_above_table_clamps():
+    assert tbs.efficiency_for_cqi(20) == tbs.efficiency_for_cqi(15)
+
+
+def test_bytes_per_prb_matches_table():
+    assert tbs.bytes_per_prb(15) == pytest.approx(5.5547 * 150 / 8)
+
+
+def test_transport_block_scales_with_prbs():
+    one = tbs.transport_block_bytes(10, 1)
+    ten = tbs.transport_block_bytes(10, 10)
+    assert ten == pytest.approx(10 * one)
+
+
+def test_transport_block_zero_prbs():
+    assert tbs.transport_block_bytes(10, 0) == 0.0
+
+
+def test_rss_mapping_calibration_points():
+    # The paper's three field locations (§6.2).
+    assert tbs.cqi_from_rss(-115) == 5
+    assert tbs.cqi_from_rss(-82) == 11
+    assert tbs.cqi_from_rss(-73) == 13
+
+
+def test_rss_mapping_clamps_to_range():
+    assert tbs.cqi_from_rss(-200) == 1
+    assert tbs.cqi_from_rss(-30) == 15
+
+
+def test_rss_mapping_monotone():
+    values = [tbs.cqi_from_rss(rss) for rss in range(-130, -50, 2)]
+    assert values == sorted(values)

@@ -1,0 +1,96 @@
+"""Metric computations (§5/§6 measurement system)."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.delay import DelayStats, delay_cdf
+from repro.metrics.freeze import freeze_ratio
+from repro.metrics.quality import QualityStats
+from repro.metrics.stability import stability_series
+from repro.metrics.throughput import ThroughputStats, per_second_series
+
+
+class TestDelay:
+    def test_stats_from_samples(self):
+        stats = DelayStats.from_samples([0.1, 0.2, 0.3, 0.4, 0.5])
+        assert stats.mean == pytest.approx(0.3)
+        assert stats.median == pytest.approx(0.3)
+        assert stats.count == 5
+
+    def test_empty_samples(self):
+        stats = DelayStats.from_samples([])
+        assert np.isnan(stats.mean)
+        assert stats.count == 0
+
+    def test_cdf_monotone(self):
+        rng = np.random.default_rng(3)
+        cdf = delay_cdf(rng.exponential(0.3, 500).tolist())
+        xs = [x for x, _ in cdf]
+        ys = [y for _, y in cdf]
+        assert xs == sorted(xs)
+        assert ys == sorted(ys)
+        assert ys[-1] == pytest.approx(1.0)
+
+    def test_cdf_empty(self):
+        assert delay_cdf([]) == []
+
+
+class TestFreeze:
+    def test_counts_threshold_crossings(self):
+        assert freeze_ratio([0.1, 0.7, 0.65, 0.2]) == 0.5
+
+    def test_lost_frames_count_as_frozen(self):
+        assert freeze_ratio([0.1, 0.1], lost_frames=2) == 0.5
+
+    def test_empty_is_zero(self):
+        assert freeze_ratio([]) == 0.0
+
+    def test_custom_threshold(self):
+        assert freeze_ratio([0.3, 0.5], threshold=0.4) == 0.5
+
+
+class TestQuality:
+    def test_mos_pdf_sums_to_one(self):
+        stats = QualityStats.from_samples([40.0, 35.0, 28.0, 22.0, 15.0])
+        assert sum(stats.mos_pdf.values()) == pytest.approx(1.0)
+        assert stats.fraction("excellent") == pytest.approx(0.2)
+        assert stats.fraction("bad") == pytest.approx(0.2)
+
+    def test_empty_quality(self):
+        stats = QualityStats.from_samples([])
+        assert np.isnan(stats.mean_psnr)
+        assert sum(stats.mos_pdf.values()) == 0.0
+
+
+class TestStability:
+    def test_constant_series_zero_std(self):
+        samples = [(t * 0.1, 1.0) for t in range(100)]
+        stds = stability_series(samples)
+        assert stds and max(stds) == 0.0
+
+    def test_oscillation_detected(self):
+        samples = [(t * 0.1, 1.0 if t % 2 else 10.0) for t in range(100)]
+        stds = stability_series(samples)
+        assert min(stds) > 1.0
+
+    def test_empty_series(self):
+        assert stability_series([]) == []
+
+    def test_short_series(self):
+        assert stability_series([(0.0, 1.0)]) == []
+
+
+class TestThroughput:
+    def test_per_second_bucketing(self):
+        arrivals = [(0.2, 1000.0), (0.7, 1000.0), (1.5, 500.0)]
+        series = per_second_series(arrivals, duration=3.0)
+        assert series == [16_000.0, 4_000.0, 0.0]
+
+    def test_stats(self):
+        stats = ThroughputStats.from_series([1e6, 2e6, 3e6])
+        assert stats.mean == pytest.approx(2e6)
+        assert stats.std == pytest.approx(np.std([1e6, 2e6, 3e6]))
+
+    def test_series_dropped_when_requested(self):
+        stats = ThroughputStats.from_series([1e6], keep_series=False)
+        assert stats.series == ()

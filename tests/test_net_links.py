@@ -1,0 +1,95 @@
+"""Stochastic and rate-limited link models."""
+
+import numpy as np
+import pytest
+
+from repro.net.link import RateLimitedLink, StochasticLink
+from repro.net.packet import Packet
+from repro.sim.engine import Simulation
+from repro.sim.rng import RngRegistry
+from repro.units import mbps, ms
+
+
+def _rng(seed=1):
+    return RngRegistry(seed).stream("link")
+
+
+def _packet(size=1000.0, created=0.0):
+    return Packet(kind="video", size_bytes=size, created=created)
+
+
+def test_stochastic_link_delivers_with_delay():
+    sim = Simulation()
+    arrivals = []
+    link = StochasticLink(sim, _rng(), delay=ms(50), jitter_std=0.0, sink=arrivals.append)
+    link.deliver(_packet())
+    sim.run(1.0)
+    assert len(arrivals) == 1
+    assert arrivals[0].arrived == pytest.approx(0.050)
+
+
+def test_stochastic_link_preserves_fifo_under_jitter():
+    sim = Simulation()
+    arrivals = []
+    link = StochasticLink(sim, _rng(), delay=ms(50), jitter_std=ms(30), sink=arrivals.append)
+    for index in range(200):
+        sim.schedule(index * 0.001, link.deliver, _packet(created=index * 0.001))
+    sim.run(5.0)
+    created = [p.created for p in arrivals]
+    assert created == sorted(created)
+    times = [p.arrived for p in arrivals]
+    assert times == sorted(times)
+
+
+def test_stochastic_link_loss():
+    sim = Simulation()
+    arrivals = []
+    link = StochasticLink(sim, _rng(), delay=ms(10), loss=0.5, sink=arrivals.append)
+    for _ in range(1000):
+        link.deliver(_packet())
+    sim.run(1.0)
+    assert 350 < len(arrivals) < 650
+    assert link.lost + link.delivered == 1000
+
+
+def test_rate_limited_link_serialization_delay():
+    sim = Simulation()
+    arrivals = []
+    link = RateLimitedLink(
+        sim, _rng(), rate_bps=mbps(8), delay=ms(10), sink=arrivals.append
+    )
+    link.deliver(_packet(size=10_000))  # 80 kbit at 8 Mbps = 10 ms
+    sim.run(1.0)
+    assert arrivals[0].arrived == pytest.approx(0.020, abs=0.002)
+
+
+def test_rate_limited_link_queues_back_to_back():
+    sim = Simulation()
+    arrivals = []
+    link = RateLimitedLink(
+        sim, _rng(), rate_bps=mbps(8), delay=0.001, sink=arrivals.append
+    )
+    for _ in range(10):
+        link.deliver(_packet(size=10_000))
+    sim.run(1.0)
+    gaps = np.diff([p.arrived for p in arrivals])
+    assert np.allclose(gaps, 0.010, atol=1e-6)
+
+
+def test_rate_limited_link_drops_over_cap():
+    sim = Simulation()
+    link = RateLimitedLink(
+        sim, _rng(), rate_bps=mbps(1), delay=ms(1), queue_cap_bytes=5_000
+    )
+    for _ in range(10):
+        link.deliver(_packet(size=1_000))
+    assert link.dropped == 5
+    assert link.queued_bytes <= 5_000
+
+
+def test_rate_limited_queue_drains():
+    sim = Simulation()
+    link = RateLimitedLink(sim, _rng(), rate_bps=mbps(1), delay=ms(1))
+    link.deliver(_packet(size=1_000))
+    sim.run(1.0)
+    assert link.queued_bytes == 0

@@ -1,0 +1,73 @@
+"""Forward and reverse path composition."""
+
+import pytest
+
+from repro.config import LteConfig, PathConfig
+from repro.net.packet import Packet
+from repro.net.path import ForwardPath, ReversePath
+from repro.sim.engine import Simulation
+from repro.sim.rng import RngRegistry
+
+
+def _packet(size=1000.0):
+    return Packet(kind="video", size_bytes=size, created=0.0)
+
+
+def test_lte_forward_path_delivers():
+    sim = Simulation()
+    config = PathConfig(access="lte", random_loss=0.0)
+    path = ForwardPath(sim, config, LteConfig(), RngRegistry(1).stream("f"))
+    arrivals = []
+    path.set_receiver(arrivals.append)
+    for _ in range(5):
+        path.send(_packet())
+    sim.run(3.0)
+    assert len(arrivals) == 5
+    assert all(p.arrived and p.arrived > 0.03 for p in arrivals)
+
+
+def test_wireline_forward_path_delivers():
+    sim = Simulation()
+    path = ForwardPath(
+        sim, PathConfig.for_wireline(), LteConfig(), RngRegistry(2).stream("f")
+    )
+    assert path.ue is None and path.access_link is not None
+    arrivals = []
+    path.set_receiver(arrivals.append)
+    path.send(_packet())
+    sim.run(1.0)
+    assert len(arrivals) == 1
+    # Wireline end-to-end one-way latency is tens of milliseconds.
+    assert arrivals[0].arrived < 0.05
+
+
+def test_unknown_access_rejected():
+    sim = Simulation()
+    with pytest.raises(ValueError):
+        ForwardPath(sim, PathConfig(access="carrier-pigeon"), LteConfig(), RngRegistry(1).stream("f"))
+
+
+def test_access_backlog_reports_lte_buffer():
+    sim = Simulation()
+    path = ForwardPath(sim, PathConfig(access="lte"), LteConfig(), RngRegistry(3).stream("f"))
+    path.set_receiver(lambda p: None)
+    path.send(_packet(5_000))
+    assert path.access_backlog_bytes == pytest.approx(5_000)
+
+
+def test_reverse_path_round_trip():
+    sim = Simulation()
+    reverse = ReversePath(sim, PathConfig(access="lte"), RngRegistry(4).stream("r"))
+    arrivals = []
+    reverse.set_receiver(arrivals.append)
+    reverse.send(Packet(kind="feedback", size_bytes=80, created=0.0))
+    sim.run(1.0)
+    assert len(arrivals) == 1
+    assert arrivals[0].arrived > 0.03  # cellular feedback latency
+
+
+def test_lost_packets_counter():
+    sim = Simulation()
+    path = ForwardPath(sim, PathConfig(access="lte"), LteConfig(), RngRegistry(5).stream("f"))
+    path.set_receiver(lambda p: None)
+    assert path.lost_packets == 0

@@ -1,0 +1,43 @@
+"""ASCII plot renderers."""
+
+import pytest
+
+from repro.plotting import bar_chart, cdf_plot, histogram, scatter_plot
+
+
+def test_scatter_renders_all_corners():
+    plot = scatter_plot([(0, 0), (1, 1)], width=10, height=5, marker="o")
+    assert plot.count("o") == 2
+    assert "CDF" not in plot
+
+
+def test_scatter_empty():
+    assert scatter_plot([]) == "(no data)"
+
+
+def test_cdf_monotone_rendering():
+    plot = cdf_plot([1.0, 2.0, 3.0, 4.0], width=20, height=6)
+    assert "CDF" in plot
+    assert "*" in plot
+
+
+def test_bar_chart_scales_to_max():
+    chart = bar_chart(["a", "bb"], [1.0, 2.0], width=10)
+    lines = chart.splitlines()
+    assert lines[1].count("#") == 10
+    assert lines[0].count("#") == 5
+
+
+def test_bar_chart_label_mismatch():
+    with pytest.raises(ValueError):
+        bar_chart(["a"], [1.0, 2.0])
+
+
+def test_histogram_covers_all_values():
+    text = histogram([1.0] * 5 + [10.0] * 5, bins=3)
+    assert "0.5" in text or "#" in text
+    assert text.count("\n") == 2
+
+
+def test_histogram_single_value():
+    assert "(no data)" not in histogram([2.0, 2.0, 2.0])

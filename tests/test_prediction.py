@@ -1,0 +1,56 @@
+"""Motion-based ROI prediction (§8 extension)."""
+
+import pytest
+
+from repro.roi.prediction import MotionPredictor
+
+
+def test_no_prediction_without_samples():
+    predictor = MotionPredictor()
+    assert predictor.predict(0.1) is None
+    assert predictor.velocity() is None
+
+
+def test_single_sample_predicts_hold():
+    predictor = MotionPredictor()
+    predictor.observe(0.0, 90.0, 5.0)
+    assert predictor.predict(0.2) == (90.0, 5.0)
+
+
+def test_constant_velocity_extrapolation():
+    predictor = MotionPredictor()
+    for step in range(8):
+        predictor.observe(step * 0.01, 10.0 + 60.0 * step * 0.01, 0.0)
+    yaw, pitch = predictor.predict(0.1)
+    last_yaw = 10.0 + 60.0 * 0.07
+    assert yaw == pytest.approx(last_yaw + 6.0, abs=0.2)
+    assert pitch == pytest.approx(0.0, abs=0.1)
+
+
+def test_velocity_estimate():
+    predictor = MotionPredictor()
+    for step in range(8):
+        predictor.observe(step * 0.01, 30.0 * step * 0.01, -10.0 * step * 0.01)
+    yaw_vel, pitch_vel = predictor.velocity()
+    assert yaw_vel == pytest.approx(30.0, rel=0.05)
+    assert pitch_vel == pytest.approx(-10.0, rel=0.05)
+
+
+def test_prediction_fails_on_direction_change():
+    """The paper's §8 point: saccades break linear prediction."""
+    predictor = MotionPredictor(history=8)
+    # Steady pursuit right...
+    for step in range(8):
+        predictor.observe(step * 0.01, 60.0 * step * 0.01, 0.0)
+    predicted_yaw, _ = predictor.predict(0.12)
+    # ... but the head actually snaps back (a saccade reversal).
+    actual_yaw = 60.0 * 0.07 - 80.0 * 0.12
+    assert abs(predicted_yaw - actual_yaw) > 10.0
+
+
+def test_duplicate_timestamps_handled():
+    predictor = MotionPredictor()
+    predictor.observe(1.0, 10.0, 0.0)
+    predictor.observe(1.0, 10.0, 0.0)
+    assert predictor.velocity() is None
+    assert predictor.predict(0.1) == (10.0, 0.0)

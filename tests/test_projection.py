@@ -1,0 +1,102 @@
+"""Projection geometry: equirect solid angles and cubemap mapping."""
+
+import math
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.video import projection
+from repro.video.frame import TileGrid
+
+GRID = TileGrid(3840, 1920, 12, 8)
+
+
+def test_angles_vector_roundtrip():
+    for yaw, pitch in ((0, 0), (90, 0), (180, 45), (270, -60), (359, 10)):
+        vector = projection.angles_to_vector(yaw, pitch)
+        back_yaw, back_pitch = projection.vector_to_angles(*vector)
+        assert back_yaw == pytest.approx(yaw % 360, abs=1e-9)
+        assert back_pitch == pytest.approx(pitch, abs=1e-9)
+
+
+def test_vector_to_angles_rejects_zero():
+    with pytest.raises(ValueError):
+        projection.vector_to_angles(0.0, 0.0, 0.0)
+
+
+def test_solid_angles_sum_to_sphere():
+    total = sum(
+        projection.tile_solid_angle(GRID, j) * GRID.tiles_x
+        for j in range(GRID.tiles_y)
+    )
+    assert total == pytest.approx(4.0 * math.pi)
+
+
+def test_equator_rows_cover_most_angle():
+    polar = projection.tile_solid_angle(GRID, 0)
+    equatorial = projection.tile_solid_angle(GRID, 4)
+    assert equatorial > 2.0 * polar
+
+
+def test_tile_solid_angle_row_bounds():
+    with pytest.raises(ValueError):
+        projection.tile_solid_angle(GRID, 8)
+
+
+def test_weights_normalised_and_symmetric():
+    weights = projection.solid_angle_weights(GRID)
+    assert weights.mean() == pytest.approx(1.0)
+    assert np.allclose(weights[:, 0], weights[:, 7])  # pole symmetry
+    assert np.allclose(weights[0], weights[5])  # columns equivalent
+
+
+def test_oversampling_grows_toward_poles():
+    factors = [projection.oversampling_factor(GRID, j) for j in range(8)]
+    assert factors[0] > 3.0 * factors[3]  # polar rows heavily oversampled
+    assert factors[7] > 3.0 * factors[4]
+    assert factors == factors[::-1]  # hemispheric symmetry
+    assert min(factors) > 0.5  # equator rows give up some share to poles
+
+
+def test_cube_face_roundtrip():
+    for yaw, pitch in ((0, 0), (90, 0), (180, 0), (0, 89), (45, -45)):
+        face, u, v = projection.equirect_to_cube_face(yaw, pitch)
+        assert face in projection.CUBE_FACES
+        assert -1.0 <= u <= 1.0 and -1.0 <= v <= 1.0
+        direction = projection.cube_face_to_direction(face, u, v)
+        back_yaw, back_pitch = projection.vector_to_angles(*direction)
+        assert back_yaw == pytest.approx(yaw % 360, abs=1e-6)
+        assert back_pitch == pytest.approx(pitch, abs=1e-6)
+
+
+def test_cardinal_directions_hit_expected_faces():
+    assert projection.equirect_to_cube_face(0, 0)[0] == "+x"
+    assert projection.equirect_to_cube_face(90, 0)[0] == "+y"
+    assert projection.equirect_to_cube_face(180, 0)[0] == "-x"
+    assert projection.equirect_to_cube_face(0, 89.9)[0] == "+z"
+    assert projection.equirect_to_cube_face(0, -89.9)[0] == "-z"
+
+
+def test_unknown_face_rejected():
+    with pytest.raises(ValueError):
+        projection.cube_face_to_direction("+w", 0.0, 0.0)
+
+
+def test_solid_angle_weighting_in_session():
+    """The receiver option runs end to end and changes the measurement."""
+    from repro.telephony.session import run_session
+    from repro.traces.scenarios import cellular
+
+    base = cellular(scheme="poi360", transport="gcc", duration=15.0, seed=13)
+    weighted = dataclasses.replace(
+        base, video=dataclasses.replace(base.video, solid_angle_weighting=True)
+    )
+    plain = run_session(base)
+    spherical = run_session(weighted)
+    assert spherical.summary.frames_displayed > 200
+    assert (
+        spherical.summary.quality.mean_psnr
+        != pytest.approx(plain.summary.quality.mean_psnr, abs=1e-6)
+    )

@@ -1,0 +1,113 @@
+"""Second batch of property-based tests (codec, traces, geometry)."""
+
+import math
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lte.diag_log import decode_stream, encode_frame
+from repro.lte.diagnostics import DiagRecord
+from repro.roi.traces import HeadTrace
+from repro.video.frame import TileGrid
+from repro.video.projection import (
+    angles_to_vector,
+    solid_angle_weights,
+    vector_to_angles,
+)
+
+record_strategy = st.builds(
+    DiagRecord,
+    time=st.floats(0.0, 1e6, allow_nan=False),
+    buffer_bytes=st.floats(0.0, 1e6, allow_nan=False, width=32),
+    tbs_bytes=st.floats(0.0, 1e5, allow_nan=False, width=32),
+)
+
+
+@given(st.lists(record_strategy, max_size=200))
+@settings(max_examples=50)
+def test_diag_codec_roundtrip(records):
+    decoded = decode_stream(encode_frame(records))
+    assert len(decoded) == len(records)
+    for original, restored in zip(records, decoded):
+        assert math.isclose(original.time, restored.time, rel_tol=1e-12)
+        assert math.isclose(
+            original.buffer_bytes, restored.buffer_bytes, rel_tol=1e-6, abs_tol=1e-3
+        )
+
+
+@given(
+    st.lists(
+        st.tuples(st.floats(0.01, 1.0), st.floats(-720, 720), st.floats(-55, 55)),
+        min_size=2,
+        max_size=40,
+    ),
+    st.floats(0.0, 50.0),
+)
+def test_head_trace_interpolation_bounded(deltas, query):
+    t = 0.0
+    samples = []
+    for dt, yaw, pitch in deltas:
+        t += dt
+        samples.append((t, yaw, pitch))
+    trace = HeadTrace(samples=tuple(samples))
+    yaw, pitch = trace.pose_at(query)
+    yaws = [y for _, y, _ in samples]
+    pitches = [p for _, _, p in samples]
+    assert min(yaws) - 1e-9 <= yaw <= max(yaws) + 1e-9
+    assert min(pitches) - 1e-9 <= pitch <= max(pitches) + 1e-9
+
+
+@given(yaw=st.floats(0.0, 360.0), pitch=st.floats(-89.9, 89.9))
+def test_angles_vector_roundtrip_property(yaw, pitch):
+    back_yaw, back_pitch = vector_to_angles(*angles_to_vector(yaw, pitch))
+    # Yaw is degenerate at the poles; compare directions instead.
+    a = np.array(angles_to_vector(yaw, pitch))
+    b = np.array(angles_to_vector(back_yaw, back_pitch))
+    assert np.allclose(a, b, atol=1e-9)
+
+
+@given(
+    tiles_x=st.sampled_from([4, 6, 8, 12, 24]),
+    tiles_y=st.sampled_from([2, 4, 8, 16]),
+)
+def test_solid_angle_weights_any_grid(tiles_x, tiles_y):
+    grid = TileGrid(width=tiles_x * 8, height=tiles_y * 8, tiles_x=tiles_x, tiles_y=tiles_y)
+    weights = solid_angle_weights(grid)
+    assert weights.shape == (tiles_x, tiles_y)
+    assert np.all(weights > 0)
+    assert weights.mean() == np.float64(1.0) or abs(weights.mean() - 1.0) < 1e-12
+
+
+@given(st.floats(0.0, 5.0), st.floats(0.0, 5.0), st.integers(0, 40))
+def test_freeze_ratio_monotone_in_threshold(d1, d2, lost):
+    from repro.metrics.freeze import freeze_ratio
+
+    delays = [d1, d2]
+    strict = freeze_ratio(delays, threshold=0.2, lost_frames=lost)
+    lenient = freeze_ratio(delays, threshold=2.0, lost_frames=lost)
+    assert lenient <= strict
+
+
+@given(
+    field=st.sampled_from(
+        [
+            ("lte.channel.rss_dbm", -100.0),
+            ("lte.cell.background_load", 0.33),
+            ("video.fps", 24.0),
+            ("gcc.start_rate", 5e5),
+            ("fbcc.k_consecutive", 7),
+            ("viewer.dwell_mean", 1.5),
+        ]
+    )
+)
+def test_replace_field_sets_exactly(field):
+    from repro.config import SessionConfig
+    from repro.experiments.sweeps import replace_field
+
+    dotted, value = field
+    config = replace_field(SessionConfig(), dotted, value)
+    node = config
+    for part in dotted.split("."):
+        node = getattr(node, part)
+    assert node == value

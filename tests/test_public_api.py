@@ -1,0 +1,31 @@
+"""The package's public surface."""
+
+import repro
+
+
+def test_version():
+    assert repro.__version__ == "1.0.0"
+
+
+def test_all_exports_resolve():
+    for name in repro.__all__:
+        assert hasattr(repro, name), name
+
+
+def test_schemes_and_transports_enumerated():
+    assert set(repro.SCHEMES) == {"poi360", "conduit", "pyramid"}
+    assert set(repro.TRANSPORTS) == {"fbcc", "gcc", "gcc_ss"}
+
+
+def test_session_config_defaults_sane():
+    config = repro.SessionConfig()
+    assert config.video.fps == 30.0
+    assert config.frame_interval() == 1.0 / 30.0
+    assert config.freeze_threshold == 0.6
+    assert config.compression.num_modes == 8
+    assert config.fbcc.k_consecutive == 10
+
+
+def test_profiles_available():
+    assert len(repro.USER_PROFILES) == 5
+    assert repro.profile_by_name("user2-typical").name == "user2-typical"

@@ -1,0 +1,79 @@
+"""Geometric pyramid projection baseline."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.compression import make_scheme
+from repro.compression.matrix import pixel_ratio
+from repro.compression.pyramid_geo import (
+    APEX_SCALE,
+    BASE_ANGLE_DEG,
+    GeometricPyramidCompression,
+    level_for_angle,
+)
+
+
+@pytest.fixture
+def scheme(compression_config, grid):
+    return GeometricPyramidCompression(compression_config, grid)
+
+
+def test_level_curve_shape():
+    assert level_for_angle(0.0) == 1.0
+    assert level_for_angle(BASE_ANGLE_DEG) == 1.0
+    assert level_for_angle(90.0) > 1.0
+    assert level_for_angle(180.0) == pytest.approx(APEX_SCALE**2)
+    angles = np.linspace(0, 180, 50)
+    levels = [level_for_angle(a) for a in angles]
+    assert levels == sorted(levels)
+
+
+def test_roi_tile_lossless(scheme):
+    matrix = scheme.matrix((5, 4))
+    assert matrix[5, 4] == 1.0
+
+
+def test_apex_most_compressed(scheme, grid):
+    matrix = scheme.matrix((0, 4))
+    # The antipodal tile (half a grid away in x, mirrored pitch row).
+    apex = matrix[6, 3]
+    assert apex == matrix.max()
+    assert apex > 20.0
+
+
+def test_geometry_not_taxicab(scheme, grid):
+    """Unlike Eq. (1), the level depends on sphere angle, not dx+dy:
+    near the poles, tiles far apart in x are angularly close."""
+    matrix = scheme.matrix((0, 7))  # ROI at the top row
+    # Same row, opposite side in x: tiny sphere angle near the pole.
+    assert matrix[6, 7] < matrix[6, 4]
+
+
+def test_fixed_and_roi_following(scheme):
+    before = scheme.matrix((2, 4))
+    scheme.update_mismatch(5.0)  # must be ignored
+    assert np.array_equal(before, scheme.matrix((2, 4)))
+    moved = scheme.matrix((8, 4))
+    assert not np.array_equal(before, moved)
+
+
+def test_pixel_budget_between_conduit_and_full(compression_config, grid, viewer_config):
+    geo = make_scheme("pyramid_geo", compression_config, grid, viewer_config)
+    conduit = make_scheme("conduit", compression_config, grid, viewer_config)
+    geo_ratio = pixel_ratio(geo.matrix((5, 4)))
+    conduit_ratio = pixel_ratio(conduit.matrix((5, 4)))
+    assert conduit_ratio < geo_ratio < 1.0
+    # Facebook quotes ~80% pixel reduction for the pyramid.
+    assert 0.1 < geo_ratio < 0.45
+
+
+def test_session_with_geometric_pyramid():
+    from repro.telephony.session import run_session
+    from repro.traces.scenarios import cellular
+
+    config = cellular(scheme="pyramid_geo", transport="gcc", duration=20.0, seed=6)
+    result = run_session(config)
+    assert result.summary.frames_displayed > 300
+    assert result.summary.quality.mean_psnr > 20.0

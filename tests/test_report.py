@@ -1,0 +1,63 @@
+"""Report generator smoke tests (tiny scales)."""
+
+import io
+
+import pytest
+
+from repro.experiments import report
+from repro.experiments.runner import ExperimentSettings, clear_cache
+
+TINY = ExperimentSettings(duration=10.0, warmup=5.0, repetitions=1, num_users=1)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    clear_cache()
+    yield
+    clear_cache()
+
+
+def test_table1_section():
+    out = io.StringIO()
+    report.report_table1(out)
+    text = out.getvalue()
+    assert "PSNR range" in text
+    assert "True" in text
+
+
+def test_fig05_section_renders_scatter():
+    out = io.StringIO()
+    report.report_fig05(out, seconds=4.0)
+    text = out.getvalue()
+    assert "plateau=" in text
+    assert "buffer KByte" in text
+
+
+def test_fig06_section():
+    out = io.StringIO()
+    report.report_fig06(out, TINY)
+    assert "empty (<1 KB) fraction" in out.getvalue()
+
+
+def test_micro_section_lists_all_conditions():
+    out = io.StringIO()
+    report.report_micro(out, TINY)
+    text = out.getvalue()
+    for scheme in ("poi360", "conduit", "pyramid"):
+        assert text.count(scheme) >= 2  # wireline + cellular rows
+    assert "Fig. 12" in text and "Fig. 13" in text and "Fig. 14" in text
+
+
+def test_transport_section():
+    out = io.StringIO()
+    report.report_transport(out, TINY)
+    text = out.getvalue()
+    assert "fbcc" in text and "gcc" in text
+    assert "Fig. 16" in text
+
+
+def test_main_with_only_filter(capsys):
+    assert report.main(["--only", "table1"]) == 0
+    text = capsys.readouterr().out
+    assert "Table 1" in text
+    assert "Fig. 5" not in text

@@ -1,0 +1,57 @@
+"""Scenario library."""
+
+import pytest
+
+from repro.traces import scenarios
+
+
+def test_all_named_scenarios_build():
+    for name in scenarios.SCENARIOS:
+        config = scenarios.scenario(name, scheme="poi360", transport="gcc")
+        assert config.scheme == "poi360"
+
+
+def test_unknown_scenario_rejected():
+    with pytest.raises(ValueError):
+        scenarios.scenario("moonbase")
+
+
+def test_wireline_uses_wireline_access():
+    assert scenarios.wireline().path.access == "wireline"
+    assert scenarios.cellular().path.access == "lte"
+
+
+def test_rss_levels_match_paper():
+    assert scenarios.rss_scenario("weak").lte.channel.rss_dbm == -115.0
+    assert scenarios.rss_scenario("moderate").lte.channel.rss_dbm == -82.0
+    assert scenarios.rss_scenario("strong").lte.channel.rss_dbm == -73.0
+    with pytest.raises(ValueError):
+        scenarios.rss_scenario("imaginary")
+
+
+def test_load_levels_ordered():
+    assert (
+        scenarios.idle_cell().lte.cell.background_load
+        < scenarios.busy_cell().lte.cell.background_load
+    )
+
+
+def test_driving_sets_speed_and_highway_rss():
+    slow = scenarios.driving(15.0)
+    highway = scenarios.driving(50.0)
+    assert slow.lte.channel.speed_mph == 15.0
+    assert highway.lte.channel.speed_mph == 50.0
+    # The highway route runs in the open: stronger signal (§6.2).
+    assert highway.lte.channel.rss_dbm > slow.lte.channel.rss_dbm
+
+
+def test_with_scheme_swaps_fields():
+    config = scenarios.with_scheme(scenarios.cellular(), "conduit", "fbcc")
+    assert config.scheme == "conduit"
+    assert config.transport == "fbcc"
+
+
+def test_overrides_flow_through():
+    config = scenarios.scenario("busy_cell", duration=12.0, seed=99)
+    assert config.duration == 12.0
+    assert config.seed == 99

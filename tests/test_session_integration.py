@@ -1,0 +1,135 @@
+"""Integration tests: the full telephony stack end to end.
+
+These run short sessions (tens of simulated seconds) and check system
+behaviour, not exact numbers.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro import SessionConfig, run_session
+from repro.roi.users import USER_PROFILES
+from repro.telephony.session import TelephonySession
+from repro.traces import scenarios
+
+
+@pytest.fixture(scope="module")
+def cellular_result():
+    config = scenarios.cellular(scheme="poi360", transport="gcc", duration=40.0, seed=11)
+    return run_session(config, warmup=15.0)
+
+
+@pytest.fixture(scope="module")
+def wireline_result():
+    config = scenarios.wireline(scheme="poi360", transport="gcc", duration=40.0, seed=11)
+    return run_session(config, warmup=15.0)
+
+
+def test_frames_flow_end_to_end(cellular_result):
+    assert cellular_result.summary.frames_displayed > 500
+    # Frames captured during the warm-up can still display afterwards,
+    # so allow up to ~1 s of in-flight slack.
+    assert (
+        cellular_result.log.frames_sent
+        >= cellular_result.summary.frames_displayed - 35
+    )
+
+
+def test_delays_plausible(cellular_result, wireline_result):
+    cellular_median = cellular_result.summary.delay.median
+    wireline_median = wireline_result.summary.delay.median
+    assert 0.15 < cellular_median < 0.8
+    assert 0.08 < wireline_median < 0.35
+    assert wireline_median < cellular_median
+
+
+def test_quality_recorded(cellular_result):
+    quality = cellular_result.summary.quality
+    assert 20.0 < quality.mean_psnr < 45.0
+    assert sum(quality.mos_pdf.values()) == pytest.approx(1.0)
+
+
+def test_roi_feedback_reaches_sender():
+    config = scenarios.cellular(scheme="poi360", transport="gcc", duration=20.0, seed=3)
+    session = TelephonySession(config)
+    session.run(20.0)
+    # The sender's ROI knowledge must have left its initial value and
+    # followed the viewer.
+    assert session.sender.roi_knowledge != (0, session.grid.tiles_y // 2) or (
+        session.receiver._viewport.roi_center == session.sender.roi_knowledge
+    )
+
+
+def test_mismatch_feedback_drives_modes():
+    config = scenarios.cellular(scheme="poi360", transport="gcc", duration=30.0, seed=3)
+    session = TelephonySession(config)
+    session.run(30.0)
+    # Started at the conservative mode 8; feedback must have moved it.
+    assert session.scheme.current_mode.index < 8
+    assert session.log.mode_switches >= 1
+
+
+def test_throughput_within_uplink_capacity(cellular_result):
+    assert cellular_result.summary.throughput.mean < 6e6
+    assert cellular_result.summary.throughput.mean > 0.3e6
+
+
+def test_fbcc_session_runs_and_uses_diag():
+    config = scenarios.cellular(scheme="poi360", transport="fbcc", duration=30.0, seed=5)
+    session = TelephonySession(config)
+    result = session.run(30.0, warmup=10.0)
+    assert result.summary.frames_displayed > 300
+    assert session.transport.bandwidth.rate_bps > 0
+
+
+def test_fbcc_requires_lte():
+    config = scenarios.wireline(scheme="poi360", transport="fbcc", duration=5.0)
+    with pytest.raises(ValueError):
+        TelephonySession(config)
+
+
+def test_unknown_transport_rejected():
+    config = dataclasses.replace(scenarios.cellular(), transport="tcp-vegas")
+    with pytest.raises(ValueError):
+        TelephonySession(config)
+
+
+def test_seed_reproducibility():
+    config = scenarios.cellular(scheme="conduit", transport="gcc", duration=15.0, seed=21)
+    a = run_session(config)
+    b = run_session(config)
+    assert a.summary.frames_displayed == b.summary.frames_displayed
+    assert a.summary.quality.mean_psnr == pytest.approx(b.summary.quality.mean_psnr)
+    assert a.summary.delay.median == pytest.approx(b.summary.delay.median)
+
+
+def test_different_seeds_differ():
+    base = scenarios.cellular(scheme="poi360", transport="gcc", duration=15.0, seed=1)
+    other = dataclasses.replace(base, seed=2)
+    a = run_session(base)
+    b = run_session(other)
+    assert a.summary.quality.mean_psnr != pytest.approx(b.summary.quality.mean_psnr)
+
+
+def test_user_profiles_apply():
+    config = scenarios.cellular(scheme="poi360", transport="gcc", duration=15.0, seed=4)
+    result = run_session(config, profile=USER_PROFILES[0])
+    assert result.config.viewer.dwell_mean == USER_PROFILES[0].dwell_mean
+
+
+def test_warmup_excluded_from_metrics():
+    config = scenarios.cellular(scheme="poi360", transport="gcc", duration=20.0, seed=6)
+    session = TelephonySession(config)
+    result = session.run(20.0, warmup=10.0)
+    assert result.log.start_time == pytest.approx(10.0)
+    assert all(t >= 10.0 for t, _ in result.log.roi_levels)
+    # Roughly 20 s worth of frames, not 30.
+    assert result.summary.frames_displayed < 25 * 30
+
+
+def test_summary_to_dict_keys(cellular_result):
+    table = cellular_result.summary.to_dict()
+    for key in ("scheme", "transport", "mean_psnr_db", "freeze_ratio"):
+        assert key in table

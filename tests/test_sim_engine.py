@@ -1,0 +1,132 @@
+"""Discrete-event engine semantics."""
+
+import pytest
+
+from repro.sim.engine import Simulation
+
+
+def test_schedule_runs_in_time_order():
+    sim = Simulation()
+    order = []
+    sim.schedule(0.3, order.append, "c")
+    sim.schedule(0.1, order.append, "a")
+    sim.schedule(0.2, order.append, "b")
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_same_time_events_fire_in_scheduling_order():
+    sim = Simulation()
+    order = []
+    for tag in ("first", "second", "third"):
+        sim.schedule(0.5, order.append, tag)
+    sim.run()
+    assert order == ["first", "second", "third"]
+
+
+def test_negative_delay_rejected():
+    sim = Simulation()
+    with pytest.raises(ValueError):
+        sim.schedule(-0.1, lambda: None)
+
+
+def test_non_finite_delay_rejected():
+    sim = Simulation()
+    with pytest.raises(ValueError):
+        sim.schedule(float("inf"), lambda: None)
+
+
+def test_run_with_duration_advances_clock_exactly():
+    sim = Simulation()
+    sim.run(2.5)
+    assert sim.now == pytest.approx(2.5)
+
+
+def test_events_beyond_deadline_stay_queued():
+    sim = Simulation()
+    fired = []
+    sim.schedule(1.0, fired.append, True)
+    sim.run(0.5)
+    assert not fired
+    sim.run(1.0)
+    assert fired == [True]
+
+
+def test_every_fires_periodically():
+    sim = Simulation()
+    times = []
+    sim.every(0.010, lambda: times.append(sim.now))
+    sim.run(0.095)
+    assert len(times) == 9
+    assert times[0] == pytest.approx(0.010)
+    assert times[-1] == pytest.approx(0.090)
+
+
+def test_every_rejects_nonpositive_period():
+    sim = Simulation()
+    with pytest.raises(ValueError):
+        sim.every(0.0, lambda: None)
+
+
+def test_cancel_periodic_process():
+    sim = Simulation()
+    counter = {"n": 0}
+
+    def tick():
+        counter["n"] += 1
+
+    handle = sim.every(0.01, tick)
+    sim.run(0.05)
+    handle.cancel()
+    sim.run(0.05)
+    assert counter["n"] == 5
+
+
+def test_cancel_single_event():
+    sim = Simulation()
+    fired = []
+    handle = sim.schedule(0.1, fired.append, 1)
+    handle.cancel()
+    sim.run(1.0)
+    assert not fired
+
+
+def test_at_schedules_absolute_time():
+    sim = Simulation()
+    sim.run(1.0)
+    stamped = []
+    sim.at(1.5, lambda: stamped.append(sim.now))
+    sim.run(1.0)
+    assert stamped == [pytest.approx(1.5)]
+
+
+def test_callbacks_can_schedule_more_events():
+    sim = Simulation()
+    seen = []
+
+    def first():
+        seen.append("first")
+        sim.schedule(0.1, lambda: seen.append("nested"))
+
+    sim.schedule(0.1, first)
+    sim.run(1.0)
+    assert seen == ["first", "nested"]
+
+
+def test_step_processes_one_event():
+    sim = Simulation()
+    seen = []
+    sim.schedule(0.1, seen.append, "a")
+    sim.schedule(0.2, seen.append, "b")
+    assert sim.step()
+    assert seen == ["a"]
+    assert sim.step()
+    assert not sim.step()
+
+
+def test_pending_counts_noncancelled():
+    sim = Simulation()
+    sim.schedule(0.1, lambda: None)
+    handle = sim.schedule(0.2, lambda: None)
+    handle.cancel()
+    assert sim.pending() == 1

@@ -1,0 +1,59 @@
+"""A paper-length soak session: invariants over 300 simulated seconds."""
+
+import numpy as np
+import pytest
+
+from repro.telephony.session import TelephonySession
+from repro.traces.scenarios import cellular
+
+
+@pytest.fixture(scope="module")
+def soak():
+    config = cellular(scheme="poi360", transport="fbcc", duration=300.0, seed=77)
+    session = TelephonySession(config)
+    result = session.run(300.0, warmup=30.0)
+    return session, result
+
+
+def test_frame_accounting_closes(soak):
+    session, result = soak
+    displayed = result.summary.frames_displayed
+    lost = result.log.frames_lost
+    sent = result.log.frames_sent
+    # Every sent frame is eventually displayed, lost, superseded or in
+    # flight; allow a couple seconds of slack for in-flight media.
+    assert displayed + lost <= sent + 90
+    assert displayed > 0.9 * 300 * 30 * (1 - result.summary.freeze_ratio) - 200
+
+
+def test_display_times_monotone(soak):
+    _, result = soak
+    times = np.array(result.log.display_times)
+    assert np.all(np.diff(times) > 0)
+
+
+def test_no_unbounded_queues_at_end(soak):
+    session, _ = soak
+    assert session.sender.pacer.queued_bytes < 2_000_000
+    assert session.forward.ue.buffer_level <= session.config.lte.firmware_buffer_cap
+
+
+def test_mismatch_within_mode_range(soak):
+    _, result = soak
+    mismatches = np.array(result.log.mismatches)
+    assert np.all(mismatches >= 0)
+    # The sliding-window M the modes are designed for tops out at
+    # 8 x 200 ms; frame-level samples can exceed it but not absurdly.
+    assert np.median(mismatches) < 1.6
+
+
+def test_quality_and_delay_stay_sane_over_long_run(soak):
+    _, result = soak
+    # No drift: the last fifth of the session behaves like the middle.
+    psnrs = np.array(result.log.roi_psnrs)
+    fifth = len(psnrs) // 5
+    early = psnrs[fifth : 2 * fifth].mean()
+    late = psnrs[-fifth:].mean()
+    assert abs(early - late) < 4.0
+    delays = np.array(result.log.frame_delays)
+    assert np.median(delays[-fifth:]) < 1.0

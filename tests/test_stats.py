@@ -1,0 +1,72 @@
+"""Bootstrap CIs and Welch comparisons."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.stats import (
+    ConfidenceInterval,
+    bootstrap_ci,
+    significantly_different,
+    welch_t,
+)
+
+
+def test_ci_contains_true_mean():
+    rng = np.random.default_rng(3)
+    samples = rng.normal(10.0, 2.0, size=200)
+    ci = bootstrap_ci(samples, seed=1)
+    assert ci.contains(10.0)
+    assert ci.low < ci.estimate < ci.high
+
+
+def test_ci_narrows_with_samples():
+    rng = np.random.default_rng(4)
+    small = bootstrap_ci(rng.normal(0, 1, 20), seed=1)
+    large = bootstrap_ci(rng.normal(0, 1, 500), seed=1)
+    assert large.width < small.width
+
+
+def test_ci_with_custom_statistic():
+    ci = bootstrap_ci([1.0, 2.0, 100.0], statistic=np.median, seed=2)
+    assert ci.estimate == 2.0
+
+
+def test_ci_validation():
+    with pytest.raises(ValueError):
+        bootstrap_ci([])
+    with pytest.raises(ValueError):
+        bootstrap_ci([1.0], confidence=1.5)
+
+
+def test_welch_detects_difference():
+    rng = np.random.default_rng(5)
+    a = rng.normal(0.0, 1.0, 60)
+    b = rng.normal(2.0, 1.0, 60)
+    t, p = welch_t(a, b)
+    assert abs(t) > 5
+    assert p < 0.001
+    assert significantly_different(a, b)
+
+
+def test_welch_identical_groups():
+    a = [1.0, 2.0, 3.0, 4.0]
+    t, p = welch_t(a, a)
+    assert t == 0.0
+    assert p == pytest.approx(1.0)
+    assert not significantly_different(a, a)
+
+
+def test_welch_needs_two_samples():
+    with pytest.raises(ValueError):
+        welch_t([1.0], [1.0, 2.0])
+
+
+def test_constant_samples():
+    t, p = welch_t([2.0, 2.0, 2.0], [2.0, 2.0, 2.0])
+    assert (t, p) == (0.0, 1.0)
+
+
+def test_interval_dataclass():
+    ci = ConfidenceInterval(estimate=1.0, low=0.5, high=1.5, confidence=0.95)
+    assert ci.width == 1.0
+    assert ci.contains(0.5) and not ci.contains(1.6)

@@ -1,0 +1,35 @@
+"""Stress scenarios (subway, stadium) survive end to end."""
+
+import pytest
+
+from repro.telephony.session import run_session
+from repro.traces.scenarios import scenario
+
+
+@pytest.mark.parametrize("name", ["subway", "stadium"])
+def test_stress_scenario_streams(name):
+    config = scenario(name, scheme="poi360", transport="fbcc", duration=40.0, seed=3)
+    result = run_session(config, warmup=10.0)
+    # The call survives: most frames still arrive, and quality is
+    # degraded rather than destroyed.
+    assert result.summary.frames_displayed > 600
+    assert result.summary.freeze_ratio < 0.5
+    assert result.summary.quality.mean_psnr > 20.0
+
+
+def test_stadium_uses_competitor_cell():
+    from repro.lte.competitors import CompetitorCell
+    from repro.telephony.session import TelephonySession
+
+    config = scenario("stadium", scheme="poi360", transport="fbcc", duration=5.0)
+    session = TelephonySession(config)
+    assert isinstance(session.forward.ue.cell, CompetitorCell)
+
+
+def test_subway_fades_are_harsher_than_default():
+    base = scenario("cellular", scheme="poi360", transport="fbcc", duration=60.0, seed=7)
+    tunnel = scenario("subway", scheme="poi360", transport="fbcc", duration=60.0, seed=7)
+    easy = run_session(base, warmup=15.0)
+    hard = run_session(tunnel, warmup=15.0)
+    assert hard.summary.quality.mean_psnr <= easy.summary.quality.mean_psnr + 0.5
+    assert hard.summary.freeze_ratio >= easy.summary.freeze_ratio - 0.01

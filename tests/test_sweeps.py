@@ -1,0 +1,47 @@
+"""Parameter-sweep tooling."""
+
+import pytest
+
+from repro.config import SessionConfig
+from repro.experiments.sweeps import SweepPoint, as_series, replace_field, sweep
+from repro.traces.scenarios import cellular
+
+
+def test_replace_field_nested():
+    config = replace_field(SessionConfig(), "lte.channel.rss_dbm", -99.0)
+    assert config.lte.channel.rss_dbm == -99.0
+    # Untouched siblings survive.
+    assert config.lte.cell.background_load == SessionConfig().lte.cell.background_load
+
+
+def test_replace_field_top_level():
+    config = replace_field(SessionConfig(), "scheme", "conduit")
+    assert config.scheme == "conduit"
+
+
+def test_replace_field_unknown():
+    with pytest.raises(AttributeError):
+        replace_field(SessionConfig(), "lte.warp_drive", 9)
+
+
+def test_sweep_runs_each_value():
+    base = cellular(scheme="poi360", transport="gcc")
+    points = sweep(
+        base, "lte.channel.rss_dbm", [-73.0, -115.0], duration=12.0, warmup=4.0
+    )
+    assert [p.value for p in points] == [-73.0, -115.0]
+    assert all(len(p.results) == 1 for p in points)
+    # Strong signal carries more traffic than weak.
+    series = as_series(points, "freeze_ratio")
+    assert set(series) == {-73.0, -115.0}
+    strong = points[0].results[0].summary.throughput.mean
+    weak = points[1].results[0].summary.throughput.mean
+    assert strong > weak
+
+
+def test_sweep_point_means():
+    base = cellular(scheme="poi360", transport="gcc")
+    (point,) = sweep(base, "seed", [1], repetitions=2, duration=10.0, warmup=3.0)
+    assert len(point.results) == 2
+    assert point.mean("freeze_ratio") >= 0.0
+    assert point.mean_psnr() > 15.0

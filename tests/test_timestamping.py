@@ -1,0 +1,51 @@
+"""Colored-block frame timestamping (§5 measurement system)."""
+
+import numpy as np
+import pytest
+
+from repro.sim.rng import RngRegistry
+from repro.telephony.timestamping import (
+    NUM_DIGITS,
+    PALETTE,
+    decode_timestamp,
+    encode_timestamp,
+)
+
+
+def test_roundtrip_exact():
+    for t in (0.0, 0.042, 1.5, 123.456, 86_399.999):
+        blocks = encode_timestamp(t)
+        assert decode_timestamp(blocks) == pytest.approx(t, abs=0.0005)
+
+
+def test_block_count():
+    assert len(encode_timestamp(12.3)) == NUM_DIGITS
+
+
+def test_palette_has_ten_distinct_colors():
+    assert len(PALETTE) == 10
+    assert len(set(PALETTE)) == 10
+
+
+def test_palette_separation_dominates_noise():
+    colors = np.asarray(PALETTE, dtype=float)
+    min_distance = min(
+        np.linalg.norm(colors[i] - colors[j])
+        for i in range(10)
+        for j in range(i + 1, 10)
+    )
+    assert min_distance > 100.0  # >> the ~6 RGB-unit averaging noise
+
+
+def test_roundtrip_under_pixel_noise():
+    rng = RngRegistry(11).stream("ts")
+    for t in np.linspace(0.0, 500.0, 23):
+        blocks = encode_timestamp(float(t))
+        decoded = decode_timestamp(blocks, rng=rng, pixel_noise_std=10.0)
+        assert decoded == pytest.approx(float(t), abs=0.0005)
+
+
+def test_wraps_after_modulus():
+    day_ish = (10**NUM_DIGITS) / 1000.0
+    blocks = encode_timestamp(day_ish + 1.5)
+    assert decode_timestamp(blocks) == pytest.approx(1.5, abs=0.001)

@@ -1,0 +1,45 @@
+"""Unit-conversion helpers."""
+
+import pytest
+
+from repro import units
+
+
+def test_ms_converts_to_seconds():
+    assert units.ms(40) == pytest.approx(0.040)
+
+
+def test_us_converts_to_seconds():
+    assert units.us(500) == pytest.approx(0.0005)
+
+
+def test_seconds_to_ms_roundtrip():
+    assert units.seconds_to_ms(units.ms(123.0)) == pytest.approx(123.0)
+
+
+def test_mbps_and_kbps():
+    assert units.mbps(2.2) == pytest.approx(2_200_000.0)
+    assert units.kbps(2200) == units.mbps(2.2)
+
+
+def test_bps_to_mbps_roundtrip():
+    assert units.bps_to_mbps(units.mbps(3.5)) == pytest.approx(3.5)
+
+
+def test_kbytes_uses_1024():
+    assert units.kbytes(10) == 10240.0
+    assert units.bytes_to_kbytes(units.kbytes(7.5)) == pytest.approx(7.5)
+
+
+def test_bits_bytes_roundtrip():
+    assert units.bytes_to_bits(100) == 800
+    assert units.bits_to_bytes(units.bytes_to_bits(321)) == pytest.approx(321)
+
+
+def test_rate_to_bytes():
+    # 8 Mbps for half a second is half a megabyte.
+    assert units.rate_to_bytes(units.mbps(8), 0.5) == pytest.approx(500_000.0)
+
+
+def test_lte_subframe_is_one_millisecond():
+    assert units.LTE_SUBFRAME == pytest.approx(0.001)

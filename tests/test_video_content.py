@@ -1,0 +1,44 @@
+"""Synthetic content complexity model."""
+
+import numpy as np
+
+from repro.sim.rng import RngRegistry
+from repro.video.content import ContentModel
+
+
+def test_mean_complexity_near_one(grid):
+    content = ContentModel(grid, RngRegistry(1).stream("c"))
+    assert abs(content.mean_complexity(0.0) - 1.0) < 0.25
+
+
+def test_complexity_positive_everywhere(grid, content):
+    for i in range(0, 12, 3):
+        for j in range(0, 8, 2):
+            assert content.complexity(i, j, 5.0) > 0.0
+
+
+def test_complexity_varies_across_tiles(grid):
+    content = ContentModel(grid, RngRegistry(2).stream("c"))
+    values = [content.complexity(i, 4, 0.0) for i in range(12)]
+    assert np.std(values) > 0.01
+
+
+def test_complexity_varies_over_time(grid):
+    content = ContentModel(grid, RngRegistry(3).stream("c"))
+    early = content.complexity(3, 3, 0.0)
+    later = content.complexity(3, 3, 12.0)
+    assert early != later
+
+
+def test_different_seeds_give_different_videos(grid):
+    a = ContentModel(grid, RngRegistry(1).stream("c"))
+    b = ContentModel(grid, RngRegistry(99).stream("c"))
+    map_a = a.complexity_map(0.0)
+    map_b = b.complexity_map(0.0)
+    assert not np.allclose(map_a, map_b)
+
+
+def test_complexity_map_matches_pointwise(grid, content):
+    mapped = content.complexity_map(3.0)
+    assert mapped[5, 2] == content.complexity(5, 2, 3.0)
+    assert mapped.shape == (12, 8)

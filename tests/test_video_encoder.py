@@ -1,0 +1,115 @@
+"""Frame encoder model: rate tracking, floors/ceilings, intra refresh."""
+
+import numpy as np
+import pytest
+
+from repro.compression.matrix import build_mode_matrix
+from repro.sim.rng import RngRegistry
+from repro.video.content import ContentModel
+from repro.video.encoder import FrameEncoder
+from repro.units import mbps
+
+
+def _encoder(grid, video_config, seed=1):
+    rng = RngRegistry(seed)
+    content = ContentModel(grid, rng.stream("content"))
+    return FrameEncoder(video_config, grid, content, rng.stream("encoder"))
+
+
+def _uniform_matrix(grid, level=1.0):
+    return np.full((grid.tiles_x, grid.tiles_y), level)
+
+
+def test_long_run_rate_tracks_target(grid, video_config):
+    encoder = _encoder(grid, video_config)
+    matrix = build_mode_matrix(grid, (0, 4), 1.5)
+    target = mbps(3.0)
+    total_bits = 0.0
+    frames = 600
+    for index in range(frames):
+        frame = encoder.encode(matrix, (0, 4), target, index / 30.0)
+        total_bits += frame.size_bits
+    realised = total_bits / (frames / 30.0)
+    assert realised == pytest.approx(target, rel=0.12)
+
+
+def test_compressed_pixels_smaller_under_compression(grid, video_config):
+    encoder = _encoder(grid, video_config)
+    full = encoder.compressed_pixels(_uniform_matrix(grid, 1.0))
+    tight = encoder.compressed_pixels(build_mode_matrix(grid, (0, 4), 1.8))
+    assert full == grid.total_pixels
+    assert tight < 0.35 * full
+
+
+def test_quality_ceiling_caps_tiny_frames(grid, video_config):
+    """An aggressively compressed frame cannot absorb a huge rate."""
+    encoder = _encoder(grid, video_config)
+    matrix = build_mode_matrix(grid, (0, 4), 1.8)
+    frame = encoder.encode(matrix, (0, 4), mbps(50.0), 1.0)
+    pixels = encoder.compressed_pixels(matrix)
+    assert frame.size_bits < 50e6 / 30
+    assert frame.bpp <= 3.0 * video_config.bits_ceiling_factor * 0.2
+
+
+def test_bits_floor_binds_for_conservative_frames(grid, video_config):
+    """A near-uniform frame cannot shrink below pixels * bpp_floor."""
+    encoder = _encoder(grid, video_config)
+    matrix = _uniform_matrix(grid, 1.0)
+    encoder.encode(matrix, (0, 4), mbps(5.0), 0.0)  # warm up intra state
+    frame = encoder.encode(matrix, (0, 4), 10_000.0, 1.0)
+    floor = grid.total_pixels * video_config.bpp_floor
+    assert frame.size_bits > 0.5 * floor
+
+
+def test_keyframes_are_larger_and_periodic(grid, video_config):
+    encoder = _encoder(grid, video_config)
+    matrix = build_mode_matrix(grid, (0, 4), 1.4)
+    sizes = []
+    keyframes = []
+    for index in range(0, 900):
+        frame = encoder.encode(matrix, (0, 4), mbps(2.0), index / 30.0)
+        sizes.append(frame.size_bits)
+        if frame.keyframe:
+            keyframes.append(index)
+    assert keyframes[0] == 0
+    gaps = np.diff(keyframes)
+    assert np.all(gaps == pytest.approx(video_config.keyframe_interval * 30, abs=2))
+    key_mean = np.mean([sizes[k] for k in keyframes[1:]])
+    other_mean = np.mean([s for i, s in enumerate(sizes) if i not in keyframes])
+    assert key_mean > 1.5 * other_mean
+
+
+def test_intra_cost_on_matrix_shift(grid, video_config):
+    """A crop-style matrix jump costs a burst of intra bits."""
+    encoder = _encoder(grid, video_config)
+    before = np.full((grid.tiles_x, grid.tiles_y), 64.0)
+    before[0:3, 3:6] = 1.0
+    after = np.full((grid.tiles_x, grid.tiles_y), 64.0)
+    after[4:7, 3:6] = 1.0  # crop moved 4 columns
+    encoder.encode(before, (1, 4), mbps(2.0), 0.1)
+    steady = encoder.encode(before, (1, 4), mbps(2.0), 0.2)
+    burst = encoder.encode(after, (5, 4), mbps(2.0), 0.3)
+    assert burst.size_bits > 1.8 * steady.size_bits
+
+
+def test_smooth_mode_change_costs_little(grid, video_config):
+    encoder = _encoder(grid, video_config)
+    mode2 = build_mode_matrix(grid, (5, 4), 1.7, plateau=(1, 1))
+    mode3 = build_mode_matrix(grid, (5, 4), 1.6, plateau=(1, 1))
+    encoder.encode(mode2, (5, 4), mbps(2.0), 0.1)
+    steady = encoder.encode(mode2, (5, 4), mbps(2.0), 0.2)
+    switched = encoder.encode(mode3, (5, 4), mbps(2.0), 0.3)
+    # An adjacent-mode switch re-encodes only the (small-pixel) far
+    # field: clearly cheaper than a crop jump's near-full re-encode.
+    assert switched.size_bits < 2.0 * steady.size_bits
+
+
+def test_frame_metadata(grid, video_config):
+    encoder = _encoder(grid, video_config)
+    matrix = build_mode_matrix(grid, (2, 3), 1.5)
+    frame = encoder.encode(matrix, (2, 3), mbps(2.0), 7.0)
+    assert frame.capture_time == 7.0
+    assert frame.send_start == pytest.approx(7.0 + video_config.encode_latency)
+    assert frame.sender_roi == (2, 3)
+    assert frame.size_bytes == pytest.approx(frame.size_bits / 8.0)
+    assert 0.0 < frame.pixel_ratio <= 1.0

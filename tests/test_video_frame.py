@@ -1,0 +1,56 @@
+"""Tile grid geometry."""
+
+import pytest
+
+from repro.video.frame import TileGrid
+
+
+def test_dimensions_must_divide():
+    with pytest.raises(ValueError):
+        TileGrid(width=100, height=100, tiles_x=7, tiles_y=8)
+
+
+def test_tile_sizes(grid):
+    assert grid.tile_width == 320
+    assert grid.tile_height == 240
+    assert grid.tile_pixels == 320 * 240
+    assert grid.total_pixels == 3840 * 1920
+    assert grid.num_tiles == 96
+
+
+def test_tiles_iterates_all(grid):
+    tiles = list(grid.tiles())
+    assert len(tiles) == 96
+    assert (0, 0) in tiles and (11, 7) in tiles
+
+
+def test_dx_is_cyclic(grid):
+    assert grid.dx(0, 11) == 1
+    assert grid.dx(0, 6) == 6
+    assert grid.dx(1, 10) == 3
+    assert grid.dx(5, 5) == 0
+
+
+def test_dy_is_absolute(grid):
+    assert grid.dy(0, 7) == 7
+    assert grid.dy(3, 3) == 0
+
+
+def test_tile_of_angles_wraps_yaw(grid):
+    assert grid.tile_of_angles(0.0, 0.0)[0] == 0
+    assert grid.tile_of_angles(360.0, 0.0)[0] == 0
+    assert grid.tile_of_angles(-30.0, 0.0)[0] == 11
+    assert grid.tile_of_angles(359.9, 0.0)[0] == 11
+
+
+def test_tile_of_angles_clamps_pitch(grid):
+    _, top = grid.tile_of_angles(0.0, 90.0)
+    _, bottom = grid.tile_of_angles(0.0, -90.0)
+    assert top == 7
+    assert bottom == 0
+    _, mid = grid.tile_of_angles(0.0, 0.0)
+    assert mid == 4
+
+
+def test_degrees_per_tile(grid):
+    assert grid.degrees_per_tile() == (30.0, 22.5)

@@ -1,0 +1,88 @@
+"""Rate-distortion model and MOS mapping (Table 1)."""
+
+import math
+
+import pytest
+
+from repro.config import VideoConfig
+from repro.video import quality
+
+
+def test_psnr_mse_roundtrip():
+    for psnr in (10.0, 25.0, 40.0):
+        assert quality.psnr_from_mse(quality.mse_from_psnr(psnr)) == pytest.approx(psnr)
+
+
+def test_psnr_from_mse_zero_is_infinite():
+    assert quality.psnr_from_mse(0.0) == float("inf")
+
+
+def test_anchor_point(video_config):
+    bpp = quality.anchor_bpp(video_config)
+    assert quality.psnr_from_bpp(bpp, video_config) == pytest.approx(
+        video_config.rd_anchor_psnr
+    )
+
+
+def test_psnr_grows_per_octave(video_config):
+    bpp = quality.anchor_bpp(video_config) / 4.0  # two octaves below anchor
+    expected = video_config.rd_anchor_psnr - 2 * video_config.rd_db_per_octave
+    assert quality.psnr_from_bpp(bpp, video_config) == pytest.approx(expected)
+
+
+def test_psnr_clamped_to_ceiling_and_floor(video_config):
+    assert quality.psnr_from_bpp(100.0, video_config) == video_config.psnr_ceiling
+    assert quality.psnr_from_bpp(1e-9, video_config) == video_config.psnr_floor
+    assert quality.psnr_from_bpp(0.0, video_config) == video_config.psnr_floor
+
+
+def test_complexity_costs_bits(video_config):
+    bpp = quality.anchor_bpp(video_config)
+    easy = quality.psnr_from_bpp(bpp, video_config, complexity=0.5)
+    hard = quality.psnr_from_bpp(bpp, video_config, complexity=2.0)
+    assert easy > hard
+
+
+def test_scale_psnr_lossless_at_level_one(video_config):
+    assert quality.scale_psnr(1.0, video_config) == float("inf")
+    assert quality.scale_psnr(0.5, video_config) == float("inf")
+
+
+def test_scale_psnr_drops_with_level(video_config):
+    l2 = quality.scale_psnr(2.0, video_config)
+    l8 = quality.scale_psnr(8.0, video_config)
+    assert l2 == pytest.approx(
+        video_config.scale_anchor_psnr - video_config.scale_db_per_octave
+    )
+    assert l8 < l2
+
+
+def test_combine_psnr_mse_adds_distortion():
+    combined = quality.combine_psnr_mse(40.0, 40.0)
+    assert combined == pytest.approx(40.0 - 10 * math.log10(2), abs=0.01)
+    assert quality.combine_psnr_mse(40.0, float("inf")) == pytest.approx(40.0)
+
+
+def test_displayed_tile_psnr_monotone_in_level(video_config):
+    bpp = quality.anchor_bpp(video_config)
+    values = [
+        quality.displayed_tile_psnr(bpp, level, video_config)
+        for level in (1.0, 2.0, 4.0, 16.0, 64.0)
+    ]
+    assert values == sorted(values, reverse=True)
+
+
+def test_mos_bands_match_table1():
+    assert quality.mos_band(40.0) == "excellent"
+    assert quality.mos_band(37.0) == "good"
+    assert quality.mos_band(33.0) == "good"
+    assert quality.mos_band(31.0) == "fair"
+    assert quality.mos_band(27.0) == "fair"
+    assert quality.mos_band(25.0) == "poor"
+    assert quality.mos_band(22.0) == "poor"
+    assert quality.mos_band(20.0) == "bad"
+    assert quality.mos_band(8.0) == "bad"
+
+
+def test_mos_order_covers_all_bands():
+    assert set(quality.MOS_ORDER) == {name for name, _ in quality.MOS_BANDS}
