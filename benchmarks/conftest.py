@@ -8,22 +8,45 @@ simulator, see EXPERIMENTS.md.
 Scale: the default settings keep the full suite to minutes.  Set
 ``REPRO_SCALE=paper`` to run the paper's 5-minute x 5-user x 10-rep
 protocol (hours).
+
+Caching: sessions persist under ``.repro_cache/<scale>/`` (see
+docs/PERFORMANCE.md), so repeated benchmark runs of an unchanged tree
+reuse finished sessions.  Quick- and paper-scale runs get separate
+subdirectories so they can never collide, on top of the settings hash
+already baked into every cache key.  Set ``REPRO_CACHE=0`` to opt out.
 """
 
 from __future__ import annotations
 
 import os
+from pathlib import Path
 
 import pytest
 
-from repro.experiments.runner import ExperimentSettings
+from repro.experiments import cache as result_cache
+from repro.experiments.runner import ExperimentSettings, clear_cache
+
+
+def _scale() -> str:
+    return "paper" if os.environ.get("REPRO_SCALE") == "paper" else "quick"
 
 
 @pytest.fixture(scope="session")
 def settings() -> ExperimentSettings:
-    if os.environ.get("REPRO_SCALE") == "paper":
+    if _scale() == "paper":
         return ExperimentSettings.paper()
     return ExperimentSettings.quick()
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _scale_scoped_cache():
+    """Keep quick- and paper-scale sessions in disjoint cache trees."""
+    explicit = os.environ.get("REPRO_CACHE_DIR")
+    root = Path(explicit) if explicit else Path(".repro_cache")
+    result_cache.set_cache_dir(root / _scale())
+    yield
+    result_cache.set_cache_dir(None)
+    clear_cache()
 
 
 def run_once(benchmark, func, *args, **kwargs):

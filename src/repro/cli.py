@@ -7,7 +7,15 @@ Subcommands:
 - ``sweep``     every (scheme, transport) combination on one scenario;
 - ``scenarios`` list the named scenarios;
 - ``report``    the full paper-vs-measured report (delegates to
-                :mod:`repro.experiments.report`).
+                :mod:`repro.experiments.report`);
+- ``cache``     inspect or clear the persistent session-result cache;
+- ``profile``   cProfile one session and print the hot functions;
+- ``perf``      the perf microbenchmark — times the Fig. 11-14
+                micro-grid serial vs parallel and writes
+                ``BENCH_perf.json``.
+
+``--jobs N`` (or ``REPRO_JOBS``) fans independent sessions across ``N``
+worker processes wherever a command runs experiment grids.
 """
 
 from __future__ import annotations
@@ -102,11 +110,66 @@ def cmd_scenarios(_args) -> int:
 
 def cmd_report(args) -> int:
     from repro.experiments import report
+    from repro.experiments.parallel import set_default_jobs
 
+    if args.jobs is not None:
+        set_default_jobs(args.jobs)
     argv = ["--scale", args.scale]
     if args.only:
         argv += ["--only", args.only]
     return report.main(argv)
+
+
+def cmd_cache(args) -> int:
+    from repro.experiments import cache
+
+    if args.cache_command == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} cached condition(s) from {cache.cache_dir()}")
+        return 0
+    info = cache.stats()
+    print(f"path            {info['path']}")
+    print(f"code salt       {info['code_salt']}")
+    print(f"current entries {info['current_entries']}")
+    print(f"stale entries   {info['stale_entries']}")
+    print(f"total size      {info['total_bytes'] / 1e6:.2f} MB")
+    return 0
+
+
+def cmd_profile(args) -> int:
+    import cProfile
+    import pstats
+
+    config = scenario(
+        args.scenario,
+        scheme=args.scheme,
+        transport=args.transport,
+        duration=args.duration,
+        seed=args.seed,
+    )
+    profiler = cProfile.Profile()
+    profiler.enable()
+    run_session(config, warmup=args.warmup)
+    profiler.disable()
+    stats = pstats.Stats(profiler)
+    stats.sort_stats(args.sort).print_stats(args.limit)
+    if args.output:
+        stats.dump_stats(args.output)
+        print(f"profile data written to {args.output} (open with snakeviz/pstats)")
+    return 0
+
+
+def cmd_perf(args) -> int:
+    from repro.experiments.perf import run_perf_bench
+
+    record = run_perf_bench(
+        duration=args.duration,
+        warmup=args.warmup,
+        jobs=args.jobs,
+        output=args.output,
+    )
+    print(json.dumps(record, indent=1))
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -133,7 +196,48 @@ def build_parser() -> argparse.ArgumentParser:
     report_parser = sub.add_parser("report", help="paper-vs-measured report")
     report_parser.add_argument("--scale", choices=("quick", "paper"), default="quick")
     report_parser.add_argument("--only", default=None)
+    report_parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes for session fan-out (0 = all cores; "
+        "default: REPRO_JOBS or serial)",
+    )
     report_parser.set_defaults(func=cmd_report)
+
+    cache_parser = sub.add_parser("cache", help="persistent result cache")
+    cache_sub = cache_parser.add_subparsers(dest="cache_command", required=True)
+    cache_sub.add_parser("stats", help="entry count, size, code salt")
+    cache_sub.add_parser("clear", help="delete every cached condition")
+    cache_parser.set_defaults(func=cmd_cache)
+
+    profile_parser = sub.add_parser("profile", help="cProfile one session")
+    _add_session_args(profile_parser)
+    profile_parser.add_argument("--scheme", default="poi360", choices=SCHEMES)
+    profile_parser.add_argument("--transport", default="gcc", choices=TRANSPORTS)
+    profile_parser.add_argument(
+        "--sort", default="cumulative", choices=("cumulative", "tottime", "ncalls")
+    )
+    profile_parser.add_argument("--limit", type=int, default=25)
+    profile_parser.add_argument("--output", metavar="FILE.prof", default=None)
+    profile_parser.set_defaults(func=cmd_profile)
+
+    perf_parser = sub.add_parser("perf", help="perf microbenchmark -> BENCH_perf.json")
+    perf_parser.add_argument(
+        "--duration",
+        type=float,
+        default=30.0,
+        help="per-session duration (s) for the micro-grid legs",
+    )
+    perf_parser.add_argument("--warmup", type=float, default=10.0)
+    perf_parser.add_argument(
+        "--jobs",
+        type=int,
+        default=4,
+        help="worker count for the parallel leg (0 = all cores)",
+    )
+    perf_parser.add_argument("--output", metavar="FILE.json", default="BENCH_perf.json")
+    perf_parser.set_defaults(func=cmd_perf)
     return parser
 
 

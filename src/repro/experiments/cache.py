@@ -1,0 +1,190 @@
+"""Content-addressed, on-disk cache of experiment session results.
+
+Running a condition at paper scale costs minutes; its result is a pure
+function of (experiment settings, scenario, scheme, transport, user
+profiles) **and the simulator code itself**.  This module persists the
+session lists under ``.repro_cache/`` keyed by a stable hash of all of
+the above, so pytest invocations, figure harnesses, benches, and the
+CLI share one pool of finished sessions.
+
+Layout::
+
+    .repro_cache/
+        <code-salt>/           # first 12 hex chars of the source hash
+            <key>.pkl          # pickled List[SessionResult]
+
+The *code salt* is a SHA-256 over every ``repro`` source file, so any
+change to the simulator automatically invalidates the whole cache (old
+salt directories are simply never read again; ``clear`` removes them).
+
+Controls:
+
+- ``REPRO_CACHE_DIR`` env var or :func:`set_cache_dir` — location
+  (default ``.repro_cache`` under the current directory);
+- ``REPRO_CACHE=0`` env var or :func:`set_cache_enabled` — kill switch.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import os
+import pickle
+import shutil
+import tempfile
+from pathlib import Path
+from typing import Iterable, List, Optional
+
+from repro.telephony.session import SessionResult
+
+#: Overridden by :func:`set_cache_dir`; None = resolve from environment.
+_CACHE_DIR: Optional[Path] = None
+
+#: Overridden by :func:`set_cache_enabled`; None = resolve from environment.
+_ENABLED: Optional[bool] = None
+
+#: Computed lazily, once per process (the source tree does not change
+#: under a running experiment).
+_CODE_SALT: Optional[str] = None
+
+
+def set_cache_dir(path: Optional[os.PathLike]) -> None:
+    """Override the cache directory (None restores the default)."""
+    global _CACHE_DIR
+    _CACHE_DIR = None if path is None else Path(path)
+
+
+def cache_dir() -> Path:
+    """Directory holding the persistent cache (not necessarily created)."""
+    if _CACHE_DIR is not None:
+        return _CACHE_DIR
+    return Path(os.environ.get("REPRO_CACHE_DIR", ".repro_cache"))
+
+
+def set_cache_enabled(enabled: Optional[bool]) -> None:
+    """Force the cache on/off (None restores the environment default)."""
+    global _ENABLED
+    _ENABLED = enabled
+
+
+def cache_enabled() -> bool:
+    """Whether session results are persisted / looked up on disk."""
+    if _ENABLED is not None:
+        return _ENABLED
+    return os.environ.get("REPRO_CACHE", "1").strip().lower() not in (
+        "0",
+        "off",
+        "false",
+        "no",
+    )
+
+
+def code_salt() -> str:
+    """Hash of every ``repro`` source file — the cache's version stamp."""
+    global _CODE_SALT
+    if _CODE_SALT is None:
+        import repro
+
+        digest = hashlib.sha256()
+        root = Path(repro.__file__).parent
+        for path in sorted(root.rglob("*.py")):
+            digest.update(str(path.relative_to(root)).encode())
+            digest.update(b"\0")
+            digest.update(path.read_bytes())
+            digest.update(b"\0")
+        _CODE_SALT = digest.hexdigest()[:12]
+    return _CODE_SALT
+
+
+def condition_key(settings, scenario_name: str, scheme: str, transport: str,
+                  profiles: Iterable[str]) -> str:
+    """Stable content hash identifying one experimental condition."""
+    payload = repr((
+        dataclasses.asdict(settings),
+        scenario_name,
+        scheme,
+        transport,
+        tuple(profiles),
+    ))
+    return hashlib.sha256(payload.encode()).hexdigest()[:32]
+
+
+def _entry_path(key: str) -> Path:
+    return cache_dir() / code_salt() / f"{key}.pkl"
+
+
+def load(key: str) -> Optional[List[SessionResult]]:
+    """Fetch a condition's sessions from disk, or None on miss."""
+    if not cache_enabled():
+        return None
+    path = _entry_path(key)
+    try:
+        with open(path, "rb") as handle:
+            return pickle.load(handle)
+    except (OSError, pickle.UnpicklingError, EOFError, AttributeError, ImportError):
+        # Missing, torn, or written by an incompatible code version
+        # whose salt happened to collide — treat all as a miss.
+        return None
+
+
+def store(key: str, results: List[SessionResult]) -> None:
+    """Persist a condition's sessions (atomic write; best effort)."""
+    if not cache_enabled():
+        return
+    path = _entry_path(key)
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(results, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+    except OSError:
+        # A read-only or full filesystem must not break the experiment.
+        pass
+
+
+def stats() -> dict:
+    """Entry count / byte size / staleness breakdown of the cache."""
+    root = cache_dir()
+    salt = code_salt()
+    current_entries = 0
+    stale_entries = 0
+    total_bytes = 0
+    if root.is_dir():
+        for path in root.rglob("*.pkl"):
+            total_bytes += path.stat().st_size
+            if path.parent.name == salt:
+                current_entries += 1
+            else:
+                stale_entries += 1
+    return {
+        "path": str(root),
+        "code_salt": salt,
+        "current_entries": current_entries,
+        "stale_entries": stale_entries,
+        "total_bytes": total_bytes,
+    }
+
+
+def clear() -> int:
+    """Delete every cached entry; returns the number of files removed."""
+    root = cache_dir()
+    removed = 0
+    if root.is_dir():
+        for path in root.rglob("*.pkl"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        for child in root.iterdir():
+            if child.is_dir():
+                shutil.rmtree(child, ignore_errors=True)
+    return removed

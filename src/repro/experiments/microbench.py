@@ -22,6 +22,7 @@ GridKey = Tuple[str, str]
 
 def micro_grid(
     settings: Optional[ExperimentSettings] = None,
+    jobs: Optional[int] = None,
 ) -> Dict[GridKey, List[SessionResult]]:
     """All (network, scheme) conditions of the §6.1.1 micro-benchmarks."""
-    return run_grid(NETWORKS, SCHEMES, transport="gcc", settings=settings)
+    return run_grid(NETWORKS, SCHEMES, transport="gcc", settings=settings, jobs=jobs)

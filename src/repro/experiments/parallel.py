@@ -1,0 +1,107 @@
+"""Process-parallel execution of independent telephony sessions.
+
+Every session of an experiment grid is an isolated discrete-event
+simulation with its own seed, so the (user × repetition × condition)
+fan-out is embarrassingly parallel.  This module runs
+:class:`SessionTask` descriptions across a ``ProcessPoolExecutor`` and
+returns results **in task order**, which — together with the unchanged
+per-session seed derivation — makes parallel runs bit-identical to
+serial ones.
+
+Worker count resolution (first match wins):
+
+1. an explicit ``jobs=`` argument,
+2. :func:`set_default_jobs` (the CLI's ``--jobs`` flag sets this),
+3. the ``REPRO_JOBS`` environment variable,
+4. serial execution (1).
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.telephony.session import SessionResult
+
+#: Process-wide default set by ``set_default_jobs`` (e.g. from --jobs).
+_DEFAULT_JOBS: Optional[int] = None
+
+
+def set_default_jobs(jobs: Optional[int]) -> None:
+    """Set the process-wide default worker count (None = unset)."""
+    global _DEFAULT_JOBS
+    _DEFAULT_JOBS = jobs
+
+
+def resolve_jobs(jobs: Optional[int] = None) -> int:
+    """Resolve the effective worker count (always >= 1)."""
+    if jobs is None:
+        jobs = _DEFAULT_JOBS
+    if jobs is None:
+        env = os.environ.get("REPRO_JOBS", "").strip()
+        if env:
+            try:
+                jobs = int(env)
+            except ValueError:
+                raise ValueError(f"REPRO_JOBS must be an integer, got {env!r}") from None
+    if jobs is None:
+        return 1
+    if jobs <= 0:
+        jobs = os.cpu_count() or 1
+    return max(1, jobs)
+
+
+@dataclass(frozen=True)
+class SessionTask:
+    """Everything a worker process needs to run one session.
+
+    Carries only plain values (the profile by name, the scenario by
+    registry key), so the task pickles cheaply and the worker rebuilds
+    the full config itself — identical to what the serial path builds.
+    """
+
+    scenario_name: str
+    scheme: str
+    transport: str
+    duration: float
+    warmup: float
+    seed: int
+    profile_name: str
+
+    def run(self) -> SessionResult:
+        """Build the session config and run it (current process)."""
+        from repro.roi.users import profile_by_name
+        from repro.telephony.session import TelephonySession
+        from repro.traces.scenarios import scenario
+
+        config = scenario(
+            self.scenario_name,
+            scheme=self.scheme,
+            transport=self.transport,
+            duration=self.duration,
+            seed=self.seed,
+        )
+        session = TelephonySession(config, profile=profile_by_name(self.profile_name))
+        return session.run(self.duration, warmup=self.warmup)
+
+
+def _run_task(task: SessionTask) -> SessionResult:
+    return task.run()
+
+
+def run_tasks(tasks: Sequence[SessionTask], jobs: Optional[int] = None) -> List[SessionResult]:
+    """Run tasks, fanning across processes; results are in task order.
+
+    With one effective worker (or at most one task) everything runs in
+    the calling process — no pool spin-up cost for the common case.
+    """
+    tasks = list(tasks)
+    workers = min(resolve_jobs(jobs), len(tasks))
+    if workers <= 1:
+        return [task.run() for task in tasks]
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        # Chunked map: preserves order, amortises pickling overhead.
+        chunksize = max(1, len(tasks) // (workers * 4))
+        return list(pool.map(_run_task, tasks, chunksize=chunksize))

@@ -1,0 +1,100 @@
+"""The performance microbenchmark behind ``repro360 perf``.
+
+Times three things and writes them to ``BENCH_perf.json`` so the perf
+trajectory of the simulator is tracked from PR to PR:
+
+1. one 30 s cellular POI360 session (the single-process hot path);
+2. the Fig. 11-14 micro-grid run serially;
+3. the same micro-grid fanned across worker processes.
+
+Caches (both layers) are bypassed while measuring — every leg really
+simulates.  The grid legs use short sessions so the whole bench stays
+under a couple of minutes on a laptop; the *ratio* between legs is the
+tracked signal, not the absolute numbers.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from typing import Optional
+
+from repro.experiments import cache as result_cache
+from repro.experiments.microbench import NETWORKS, SCHEMES
+from repro.experiments.parallel import resolve_jobs
+from repro.experiments.runner import ExperimentSettings, clear_cache, run_grid
+from repro.roi.users import USER_PROFILES
+from repro.telephony.session import TelephonySession
+from repro.traces.scenarios import scenario
+
+#: Wall-clock numbers measured on the pre-optimisation tree (same
+#: machine class as CI), recorded when the perf subsystem landed; they
+#: are the "before" column of this bench's first report.
+SEED_BASELINE = {
+    "single_session_s": 0.659,
+    "note": "best of 5: 30 s cellular/poi360/gcc session (10 s warm-up) "
+    "before hot-path batching",
+}
+
+
+def _time_single_session(duration: float, warmup: float) -> float:
+    config = scenario(
+        "cellular", scheme="poi360", transport="gcc", duration=duration, seed=3
+    )
+    start = time.perf_counter()
+    TelephonySession(config, profile=USER_PROFILES[1]).run(duration, warmup)
+    return time.perf_counter() - start
+
+
+def _time_grid(settings: ExperimentSettings, jobs: int) -> float:
+    clear_cache()
+    start = time.perf_counter()
+    run_grid(NETWORKS, SCHEMES, transport="gcc", settings=settings, jobs=jobs)
+    elapsed = time.perf_counter() - start
+    clear_cache()
+    return elapsed
+
+
+def run_perf_bench(
+    duration: float = 30.0,
+    warmup: float = 10.0,
+    jobs: Optional[int] = 4,
+    output: Optional[str] = "BENCH_perf.json",
+) -> dict:
+    """Run every leg and (optionally) write the JSON record."""
+    workers = resolve_jobs(jobs if jobs else 0)
+    settings = ExperimentSettings(
+        duration=duration, warmup=warmup, repetitions=1, num_users=2
+    )
+    result_cache.set_cache_enabled(False)
+    try:
+        single = min(_time_single_session(duration, warmup) for _ in range(3))
+        serial = _time_grid(settings, jobs=1)
+        parallel = _time_grid(settings, jobs=workers)
+    finally:
+        result_cache.set_cache_enabled(None)
+    record = {
+        "bench": "repro360-perf",
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+        "session_duration_s": duration,
+        "grid_sessions": len(NETWORKS) * len(SCHEMES) * len(settings.users()),
+        "single_session_s": round(single, 4),
+        "micro_grid_serial_s": round(serial, 4),
+        "parallel_jobs": workers,
+        "micro_grid_parallel_s": round(parallel, 4),
+        "parallel_speedup": round(serial / parallel, 3) if parallel > 0 else None,
+        "seed_baseline": SEED_BASELINE,
+        "single_session_vs_seed": round(
+            SEED_BASELINE["single_session_s"] / single, 3
+        )
+        if single > 0
+        else None,
+    }
+    if output:
+        with open(output, "w") as handle:
+            json.dump(record, handle, indent=1)
+            handle.write("\n")
+    return record

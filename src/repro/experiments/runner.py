@@ -5,8 +5,16 @@ times across 5 users.  That is ≈25 simulated minutes per condition —
 reproducible here, but slow for a test suite — so the settings scale:
 ``ExperimentSettings.quick()`` (default for pytest benches) uses shorter
 sessions with fewer users, ``ExperimentSettings.paper()`` matches the
-paper's durations.  Results for a given settings value are cached, so
-the four micro-benchmark figures (11-14) share one grid of sessions.
+paper's durations.
+
+Finished conditions are cached twice over: an in-process dict (L1,
+returns the *same* result objects) in front of the persistent
+content-addressed store in ``repro.experiments.cache`` (L2, shared by
+every process and invalidated automatically when the simulator code
+changes).  Independent sessions fan out across worker processes when
+``jobs`` (argument, ``--jobs``, or ``REPRO_JOBS``) allows — results are
+bit-identical to serial execution because each session is a sealed
+simulation with an unchanged seed derivation.
 """
 
 from __future__ import annotations
@@ -15,9 +23,10 @@ import dataclasses
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+from repro.experiments import cache as _disk_cache
+from repro.experiments.parallel import SessionTask, run_tasks
 from repro.roi.users import USER_PROFILES, UserProfile
-from repro.telephony.session import SessionResult, TelephonySession
-from repro.traces.scenarios import scenario
+from repro.telephony.session import SessionResult
 
 
 @dataclass(frozen=True)
@@ -46,14 +55,58 @@ class ExperimentSettings:
         return USER_PROFILES[: max(1, min(self.num_users, len(USER_PROFILES)))]
 
 
-#: Cache of already-run conditions, keyed by (settings, scenario,
-#: scheme, transport).
+#: L1 cache of already-run conditions, keyed by (settings, scenario,
+#: scheme, transport).  Hits return the identical result objects.
 _CACHE: Dict[Tuple, List[SessionResult]] = {}
 
 
-def clear_cache() -> None:
-    """Drop all cached session results (used by tests)."""
+def clear_cache(disk: bool = False) -> None:
+    """Drop cached session results (in-memory; ``disk=True`` adds L2)."""
     _CACHE.clear()
+    if disk:
+        _disk_cache.clear()
+
+
+def _condition_tasks(
+    scenario_name: str,
+    scheme: str,
+    transport: str,
+    settings: ExperimentSettings,
+) -> List[SessionTask]:
+    """The condition's session tasks, in canonical (user, rep) order.
+
+    Seed derivation — ``base_seed + 1000 * user_index + repetition`` —
+    is the compatibility contract with every previously published
+    number; do not reorder or reformulate it.
+    """
+    tasks: List[SessionTask] = []
+    for user_index, profile in enumerate(settings.users()):
+        for repetition in range(settings.repetitions):
+            seed = settings.base_seed + 1000 * user_index + repetition
+            tasks.append(
+                SessionTask(
+                    scenario_name=scenario_name,
+                    scheme=scheme,
+                    transport=transport,
+                    duration=settings.duration,
+                    warmup=settings.warmup,
+                    seed=seed,
+                    profile_name=profile.name,
+                )
+            )
+    return tasks
+
+
+def _disk_key(
+    scenario_name: str, scheme: str, transport: str, settings: ExperimentSettings
+) -> str:
+    return _disk_cache.condition_key(
+        settings,
+        scenario_name,
+        scheme,
+        transport,
+        (profile.name for profile in settings.users()),
+    )
 
 
 def run_sessions(
@@ -61,6 +114,7 @@ def run_sessions(
     scheme: str,
     transport: str,
     settings: Optional[ExperimentSettings] = None,
+    jobs: Optional[int] = None,
 ) -> List[SessionResult]:
     """Run (or fetch cached) sessions for one experimental condition.
 
@@ -72,21 +126,12 @@ def run_sessions(
     key = (settings, scenario_name, scheme, transport)
     if key in _CACHE:
         return _CACHE[key]
-    results: List[SessionResult] = []
-    for user_index, profile in enumerate(settings.users()):
-        for repetition in range(settings.repetitions):
-            seed = settings.base_seed + 1000 * user_index + repetition
-            config = scenario(
-                scenario_name,
-                scheme=scheme,
-                transport=transport,
-                duration=settings.duration,
-                seed=seed,
-            )
-            session = TelephonySession(config, profile=profile)
-            results.append(
-                session.run(settings.duration, warmup=settings.warmup)
-            )
+    disk_key = _disk_key(scenario_name, scheme, transport, settings)
+    results = _disk_cache.load(disk_key)
+    if results is None:
+        tasks = _condition_tasks(scenario_name, scheme, transport, settings)
+        results = run_tasks(tasks, jobs=jobs)
+        _disk_cache.store(disk_key, results)
     _CACHE[key] = results
     return results
 
@@ -96,14 +141,48 @@ def run_grid(
     schemes: Tuple[str, ...],
     transport: str = "gcc",
     settings: Optional[ExperimentSettings] = None,
+    jobs: Optional[int] = None,
 ) -> Dict[Tuple[str, str], List[SessionResult]]:
-    """Run every (scenario, scheme) condition; returns keyed results."""
+    """Run every (scenario, scheme) condition; returns keyed results.
+
+    All sessions still missing after the cache lookups are pooled into
+    one task list before fanning out, so workers stay busy across
+    condition boundaries (a grid of short conditions parallelises as
+    well as one long condition).
+    """
+    settings = settings or ExperimentSettings.quick()
     grid: Dict[Tuple[str, str], List[SessionResult]] = {}
+    missing: List[Tuple[str, str]] = []
+    pooled_tasks: List[SessionTask] = []
+    per_condition = max(1, len(settings.users()) * settings.repetitions)
     for scenario_name in scenarios:
         for scheme in schemes:
-            grid[(scenario_name, scheme)] = run_sessions(
-                scenario_name, scheme, transport, settings
+            key = (settings, scenario_name, scheme, transport)
+            if key in _CACHE:
+                grid[(scenario_name, scheme)] = _CACHE[key]
+                continue
+            results = _disk_cache.load(
+                _disk_key(scenario_name, scheme, transport, settings)
             )
+            if results is not None:
+                _CACHE[key] = results
+                grid[(scenario_name, scheme)] = results
+                continue
+            missing.append((scenario_name, scheme))
+            pooled_tasks.extend(
+                _condition_tasks(scenario_name, scheme, transport, settings)
+            )
+    if missing:
+        pooled_results = run_tasks(pooled_tasks, jobs=jobs)
+        for index, (scenario_name, scheme) in enumerate(missing):
+            results = pooled_results[
+                index * per_condition : (index + 1) * per_condition
+            ]
+            _CACHE[(settings, scenario_name, scheme, transport)] = results
+            _disk_cache.store(
+                _disk_key(scenario_name, scheme, transport, settings), results
+            )
+            grid[(scenario_name, scheme)] = results
     return grid
 
 

@@ -32,15 +32,20 @@ class CellLoadProcess:
         self._config = config
         self._rng = rng
         self._deviation = 0.0
+        # Process constants, hoisted out of the update callback.
+        self._decay = math.exp(-UPDATE_INTERVAL / config.load_corr_time)
+        self._innovation = config.load_sigma * math.sqrt(
+            max(0.0, 1.0 - self._decay * self._decay)
+        )
+        self._load = min(LOAD_MAX, max(LOAD_MIN, config.background_load))
         sim.every(UPDATE_INTERVAL, self._update)
 
     def _update(self) -> None:
-        decay = math.exp(-UPDATE_INTERVAL / self._config.load_corr_time)
-        innovation = self._config.load_sigma * math.sqrt(max(0.0, 1.0 - decay * decay))
-        self._deviation = self._deviation * decay + innovation * self._rng.normal()
+        self._deviation = self._deviation * self._decay + self._innovation * self._rng.normal()
+        value = self._config.background_load + self._deviation
+        self._load = min(LOAD_MAX, max(LOAD_MIN, value))
 
     @property
     def load(self) -> float:
-        """Instantaneous background-load fraction."""
-        value = self._config.background_load + self._deviation
-        return min(LOAD_MAX, max(LOAD_MIN, value))
+        """Instantaneous background-load fraction (cached per update)."""
+        return self._load

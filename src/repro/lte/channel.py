@@ -40,22 +40,34 @@ class ChannelProcess:
         self._handover_rate = (
             config.handover_rate_per_min_at_30mph * (speed / 30.0) / 60.0
         )
-        sim.every(config.update_interval, self._update)
+        # The Gauss-Markov step parameters are constants of the process;
+        # hoist them (and the per-step event probabilities) out of the
+        # 50 Hz update callback.
+        dt = config.update_interval
+        self._decay = math.exp(-dt / self._corr_time)
+        self._innovation = self._sigma * math.sqrt(
+            max(0.0, 1.0 - self._decay * self._decay)
+        )
+        self._handover_prob = self._handover_rate * dt
+        self._fade_prob = self._fade_rate * dt
+        #: CQI at the current RSS; only changes when ``_update`` runs, so
+        #: per-subframe ``cqi()`` calls reuse it instead of re-deriving.
+        self._cqi = cqi_from_rss(config.rss_dbm)
+        sim.every(dt, self._update)
 
     def _update(self) -> None:
-        dt = self._config.update_interval
-        decay = math.exp(-dt / self._corr_time)
-        innovation = self._sigma * math.sqrt(max(0.0, 1.0 - decay * decay))
-        self._shadow_db = self._shadow_db * decay + innovation * self._rng.normal()
-        if self._handover_rate > 0.0 and self._sim.now > self._outage_until:
-            if self._rng.random() < self._handover_rate * dt:
-                self._outage_until = self._sim.now + self._config.handover_outage
-        if self._sim.now > self._fade_until:
+        self._shadow_db = self._shadow_db * self._decay + self._innovation * self._rng.normal()
+        now = self._sim.now
+        if self._handover_rate > 0.0 and now > self._outage_until:
+            if self._rng.random() < self._handover_prob:
+                self._outage_until = now + self._config.handover_outage
+        if now > self._fade_until:
             self._fade_db = 0.0
-            if self._fade_rate > 0.0 and self._rng.random() < self._fade_rate * dt:
+            if self._fade_rate > 0.0 and self._rng.random() < self._fade_prob:
                 self._fade_db = self._rng.exponential(self._config.deep_fade_depth_db)
                 low, high = self._config.deep_fade_duration
-                self._fade_until = self._sim.now + self._rng.uniform(low, high)
+                self._fade_until = now + self._rng.uniform(low, high)
+        self._cqi = cqi_from_rss(self._config.rss_dbm + self._shadow_db - self._fade_db)
 
     @property
     def rss_dbm(self) -> float:
@@ -69,6 +81,6 @@ class ChannelProcess:
 
     def cqi(self) -> int:
         """Instantaneous CQI (0 during handover outage)."""
-        if self.in_outage:
+        if self._sim.now <= self._outage_until:
             return 0
-        return cqi_from_rss(self.rss_dbm)
+        return self._cqi

@@ -50,7 +50,9 @@ class EnbDownlink:
         self._burst_left = 0
         self._idle_left = 0
         self.bytes_served = 0.0
-        sim.every(LTE_SUBFRAME, self._subframe)
+        # An empty-queue subframe is a pure no-op (no RNG draw, no burst
+        # advance), so the process pauses while idle and deliver() wakes it.
+        self._tick = sim.every_while(LTE_SUBFRAME, self._subframe)
 
     def set_sink(self, sink: PacketSink) -> None:
         self._sink = sink
@@ -58,6 +60,8 @@ class EnbDownlink:
     def deliver(self, packet: Packet) -> None:
         """Enqueue a packet arriving from the core network."""
         self.queue.push(packet)
+        if self._tick.paused:
+            self._tick.wake()
 
     @property
     def queued_bytes(self) -> float:
@@ -85,24 +89,26 @@ class EnbDownlink:
         self._idle_left = idle
         return True
 
-    def _subframe(self) -> None:
-        if self.queue.level <= 0.0:
-            return
+    def _subframe(self) -> bool:
+        queue = self.queue
+        if queue.level <= 0.0:
+            return False
         cqi = self.channel.cqi()
         if cqi <= 0:
-            return
+            return True
         load = self.cell.load
         duty = self._config.p_max * (1.0 - load)
         if not self._in_service_burst(duty):
-            return
+            return True
         capacity = transport_block_bytes(cqi, self._config.prb_quota)
         fading = float(np.exp(self._rng.normal(0.0, 0.1)))
-        before = self.queue.level
-        completed = self.queue.drain(capacity * fading)
-        self.bytes_served += before - self.queue.level
+        before = queue.level
+        completed = queue.drain(capacity * fading)
+        self.bytes_served += before - queue.level
         if self._sink is not None:
             for packet in completed:
                 self._sim.schedule(self._config.radio_latency, self._arrive, packet)
+        return True
 
     def _arrive(self, packet: Packet) -> None:
         packet.arrived = self._sim.now

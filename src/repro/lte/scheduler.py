@@ -56,6 +56,11 @@ class EnbScheduler:
         self._rng = rng
         self._uniforms = rng.random(_BATCH)
         self._cursor = 0
+        # Frozen-config fields used every subframe, hoisted once.
+        self._p_max = config.p_max
+        self._backlog_ref = config.pf_backlog_ref
+        self._prb_quota = config.prb_quota
+        self._mean_burst = config.scheduling_burst_subframes
         speed = max(0.0, config.channel.speed_mph)
         #: Fast-fading lognormal sigma on the per-grant TBS.
         self._fading_sigma = 0.10 + speed / 300.0
@@ -73,7 +78,7 @@ class EnbScheduler:
 
     def effective_prbs(self, load: float) -> int:
         """PRBs our UE is granted when scheduled, given the cell load."""
-        return max(2, int(round(self._config.prb_quota * (2.0 - load))))
+        return max(2, int(round(self._prb_quota * (2.0 - load))))
 
     def grant_for_subframe(self, reported_backlog: float, actual_backlog: float) -> float:
         """Transport block size (bytes) granted this subframe (0 = none)."""
@@ -83,9 +88,9 @@ class EnbScheduler:
         if cqi <= 0:
             return 0.0
         load = self._cell.load
-        backlog_fraction = min(1.0, reported_backlog / self._config.pf_backlog_ref)
+        backlog_fraction = min(1.0, reported_backlog / self._backlog_ref)
         probability = (
-            self._config.p_max
+            self._p_max
             * (1.0 - load)
             * max(MIN_SCHEDULING_FRACTION, backlog_fraction)
         )
@@ -107,7 +112,7 @@ class EnbScheduler:
         if self._idle_left > 0:
             self._idle_left -= 1
             return False
-        mean_burst = self._config.scheduling_burst_subframes
+        mean_burst = self._mean_burst
         duty = min(1.0, max(1e-3, duty_cycle))
         burst = 1 + int(-mean_burst * np.log(max(1e-12, self._next_uniform())))
         idle = min(MAX_IDLE_SUBFRAMES, int(round(burst * (1.0 - duty) / duty)))

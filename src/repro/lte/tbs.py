@@ -41,6 +41,13 @@ RSS_CQI_BASE = 5.0
 RSS_DB_PER_CQI = 5.25
 
 
+#: ``bytes_per_prb`` for CQI 1..15, precomputed once (the mapping sits
+#: on the per-subframe grant path).
+_BYTES_PER_PRB = tuple(
+    efficiency * USABLE_RES_PER_PRB / 8.0 for efficiency in CQI_EFFICIENCY
+)
+
+
 def efficiency_for_cqi(cqi: int) -> float:
     """Spectral efficiency (bits per resource element) for a CQI index.
 
@@ -55,7 +62,9 @@ def efficiency_for_cqi(cqi: int) -> float:
 
 def bytes_per_prb(cqi: int) -> float:
     """Payload bytes one PRB carries in one subframe at the given CQI."""
-    return efficiency_for_cqi(cqi) * USABLE_RES_PER_PRB / 8.0
+    if cqi <= 0:
+        return 0.0
+    return _BYTES_PER_PRB[min(int(cqi), len(_BYTES_PER_PRB)) - 1]
 
 
 def cqi_from_rss(rss_dbm: float) -> int:

@@ -5,6 +5,14 @@ grant (based on the *delayed* buffer state the basestation knows via
 BSR), drains the firmware buffer accordingly, hands completed packets to
 the network after the radio latency, and logs the subframe into the
 diagnostic monitor.
+
+When the firmware buffer is empty *and* every BSR slot still in flight
+reports zero, a subframe is pure bookkeeping: the scheduler returns
+before touching its RNG or burst state, and the only side effect is an
+all-zero diag record.  The uplink therefore pauses its subframe process
+(:meth:`Simulation.every_while`) until the next ``send``, and backfills
+the zero records lazily — per-batch observables and the RNG stream are
+bit-identical to an always-ticking UE.
 """
 
 from __future__ import annotations
@@ -50,7 +58,11 @@ class UeUplink:
         depth = max(1, int(round(config.bsr_delay / LTE_SUBFRAME)))
         self._bsr_ring: Deque[float] = deque([0.0] * depth, maxlen=depth)
         self.bytes_sent = 0.0
-        sim.every(LTE_SUBFRAME, self._subframe)
+        # Bound-method fast paths for the once-per-millisecond loop.
+        self._grant = self.scheduler.grant_for_subframe
+        self._record = self.diag.record
+        self._tick = sim.every_while(LTE_SUBFRAME, self._subframe)
+        self.diag.set_idle_filler(self._fill_idle)
 
     def set_sink(self, sink: PacketSink) -> None:
         """Attach the downstream path receiving transmitted packets."""
@@ -58,24 +70,47 @@ class UeUplink:
 
     def send(self, packet: Packet) -> bool:
         """Enqueue a paced RTP packet into the firmware buffer."""
-        return self.buffer.push(packet)
+        accepted = self.buffer.push(packet)
+        if self._tick.paused:
+            self._fill_idle(self._sim.now)
+            self._tick.wake()
+        return accepted
+
+    def _fill_idle(self, until: float) -> None:
+        """Backfill all-zero diag records for subframes skipped while idle."""
+        tick = self._tick
+        if not tick.paused:
+            return
+        record_at = self.diag.record_at
+        while tick.next_time < until:
+            record_at(tick.next_time, 0.0, 0.0)
+            tick.skip()
 
     @property
     def buffer_level(self) -> float:
         """Current firmware-buffer occupancy in bytes."""
         return self.buffer.level
 
-    def _subframe(self) -> None:
-        reported = self._bsr_ring[0]
-        self._bsr_ring.append(self.buffer.level)
-        grant = self.scheduler.grant_for_subframe(reported, self.buffer.level)
+    def _subframe(self) -> bool:
+        buffer = self.buffer
+        ring = self._bsr_ring
+        reported = ring[0]
+        level = buffer.level
+        ring.append(level)
+        grant = self._grant(reported, level)
         tbs = 0.0
         if grant > 0.0:
-            before = self.buffer.level
-            completed = self.buffer.drain(grant)
-            tbs = before - self.buffer.level
+            completed = buffer.drain(grant)
+            tbs = level - buffer.level
             self.bytes_sent += tbs
             if self._sink is not None:
+                schedule = self._sim.schedule
+                latency = self._config.radio_latency
+                sink = self._sink
                 for packet in completed:
-                    self._sim.schedule(self._config.radio_latency, self._sink, packet)
-        self.diag.record(self.buffer.level, tbs)
+                    schedule(latency, sink, packet)
+            level = buffer.level
+        self._record(level, tbs)
+        # Keep ticking while any in-flight BSR slot or the buffer itself
+        # is non-zero; otherwise pause until the next send() wakes us.
+        return bool(level) or any(ring)

@@ -61,12 +61,9 @@ class HeadMotion:
         )
         direction = 1.0 if self._rng.random() < 0.5 else -1.0
         self._target_yaw = self.yaw + direction * magnitude
-        self._target_pitch = float(
-            np.clip(
-                self._rng.normal(0.0, config.saccade_pitch_std),
-                -config.pitch_limit,
-                config.pitch_limit,
-            )
+        limit = config.pitch_limit
+        self._target_pitch = min(
+            limit, max(-limit, float(self._rng.normal(0.0, config.saccade_pitch_std)))
         )
         self._peak_velocity = max(
             10.0,
@@ -94,12 +91,9 @@ class HeadMotion:
             return
         if self._sim.now <= self._pursuit_until:
             self.yaw += self._pursuit_velocity * dt
-            self.pitch = float(
-                np.clip(
-                    self.pitch + self._pursuit_pitch_velocity * dt,
-                    -self._config.pitch_limit,
-                    self._config.pitch_limit,
-                )
+            limit = self._config.pitch_limit
+            self.pitch = min(
+                limit, max(-limit, self.pitch + self._pursuit_pitch_velocity * dt)
             )
             return
         self._advance_drift(dt)
@@ -121,12 +115,8 @@ class HeadMotion:
             desired = direction * max(10.0, abs(self._velocity) - config.max_acceleration * dt)
         else:
             desired = direction * self._peak_velocity
-        delta_v = np.clip(
-            desired - self._velocity,
-            -config.max_acceleration * dt,
-            config.max_acceleration * dt,
-        )
-        self._velocity += float(delta_v)
+        cap = config.max_acceleration * dt
+        self._velocity += min(cap, max(-cap, desired - self._velocity))
         step = self._velocity * dt
         pitch_step = (self._target_pitch - self.pitch) * min(1.0, 3.0 * dt)
         self.pitch += pitch_step
@@ -148,12 +138,9 @@ class HeadMotion:
             max(0.0, 1.0 - decay * decay)
         ) * self._rng.normal()
         self.yaw += self._drift_velocity * dt
-        self.pitch = float(
-            np.clip(
-                self.pitch + 0.3 * self._drift_velocity * dt,
-                -config.pitch_limit,
-                config.pitch_limit,
-            )
+        limit = config.pitch_limit
+        self.pitch = min(
+            limit, max(-limit, self.pitch + 0.3 * self._drift_velocity * dt)
         )
 
     @property

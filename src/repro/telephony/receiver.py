@@ -220,7 +220,8 @@ class PanoramicReceiver:
         self._last_displayed_capture = frame.capture_time
         self._recent_delays.append(min(2.0, max(0.0, delay)))
 
-        displayed_level = self._roi_region_level(frame)
+        roi_tiles = list(self._roi_region_tiles())
+        displayed_level = self._roi_region_level(frame, roi_tiles)
         mismatch = self._mismatch.observe_frame(
             displayed_level,
             self.frame_delay_estimate,
@@ -229,7 +230,7 @@ class PanoramicReceiver:
         )
         self._log.mismatches.append(mismatch)
         self._log.roi_levels.append((now, displayed_level))
-        self._log.roi_psnrs.append(self._roi_region_psnr(frame))
+        self._log.roi_psnrs.append(self._roi_region_psnr(frame, roi_tiles))
         self._log.display_times.append(now)
         self._log.frames_displayed += 1
 
@@ -242,9 +243,11 @@ class PanoramicReceiver:
                 if 0 <= j < self._grid.tiles_y:
                     yield ((i_star + dx) % self._grid.tiles_x, j)
 
-    def _roi_region_level(self, frame: EncodedFrame) -> float:
+    def _roi_region_level(self, frame: EncodedFrame, tiles=None) -> float:
         """Mean compression level displayed in the ROI region (Fig. 12)."""
-        levels = [float(frame.matrix[i, j]) for i, j in self._roi_region_tiles()]
+        if tiles is None:
+            tiles = list(self._roi_region_tiles())
+        levels = [float(frame.matrix[i, j]) for i, j in tiles]
         return sum(levels) / max(1, len(levels))
 
     def _converged_region_level(self, frame: EncodedFrame) -> float:
@@ -264,7 +267,7 @@ class PanoramicReceiver:
                     levels.append(float(frame.matrix[(i_star + dx) % self._grid.tiles_x, j]))
         return sum(levels) / max(1, len(levels))
 
-    def _roi_region_psnr(self, frame: EncodedFrame) -> float:
+    def _roi_region_psnr(self, frame: EncodedFrame, tiles=None) -> float:
         """MSE-domain PSNR over the ROI measurement crop — the §5 metric.
 
         The client dumps the foveal crop around its gaze (a
@@ -276,11 +279,18 @@ class PanoramicReceiver:
         config = self._config.video
         total_mse = 0.0
         total_weight = 0.0
-        for i, j in self._roi_region_tiles():
-            complexity = self._content.complexity(i, j, frame.capture_time)
-            level = float(frame.matrix[i, j])
-            psnr = displayed_tile_psnr(frame.bpp, level, config, complexity)
-            weight = 1.0 if self._tile_weights is None else float(self._tile_weights[i, j])
+        if tiles is None:
+            tiles = list(self._roi_region_tiles())
+        matrix = frame.matrix
+        bpp = frame.bpp
+        capture_time = frame.capture_time
+        complexity_of = self._content.complexity
+        weights = self._tile_weights
+        for i, j in tiles:
+            complexity = complexity_of(i, j, capture_time)
+            level = float(matrix[i, j])
+            psnr = displayed_tile_psnr(bpp, level, config, complexity)
+            weight = 1.0 if weights is None else float(weights[i, j])
             total_mse += weight * mse_from_psnr(psnr)
             total_weight += weight
         return psnr_from_mse(total_mse / max(1e-12, total_weight))

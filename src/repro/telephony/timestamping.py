@@ -35,6 +35,10 @@ NUM_DIGITS = 8
 
 _MODULUS = 10**NUM_DIGITS
 
+#: Palette as a float array, shaped for broadcasting against a batch of
+#: observed blocks: (1, 10, 3).
+_PALETTE_F = np.asarray(PALETTE, dtype=float)[np.newaxis, :, :]
+
 
 def encode_timestamp(time_s: float) -> Tuple[RgbBlock, ...]:
     """Encode a timestamp (seconds) as colored blocks, ms resolution.
@@ -58,12 +62,18 @@ def decode_timestamp(
     block colors; the palette's wide separation makes decoding robust
     far beyond realistic noise levels.
     """
-    palette = np.asarray(PALETTE, dtype=float)
+    observed = np.asarray(blocks, dtype=float)
+    if observed.size == 0:
+        return 0.0
+    if rng is not None and pixel_noise_std > 0.0:
+        # One batched draw; numpy fills the array in C order, so the
+        # values (and the generator state afterwards) are identical to
+        # one size-3 draw per block.
+        observed = observed + rng.normal(
+            0.0, pixel_noise_std, size=observed.shape
+        )
+    distances = ((_PALETTE_F - observed[:, np.newaxis, :]) ** 2).sum(axis=2)
     total = 0
-    for block in blocks:
-        observed = np.asarray(block, dtype=float)
-        if rng is not None and pixel_noise_std > 0.0:
-            observed = observed + rng.normal(0.0, pixel_noise_std, size=3)
-        digit = int(np.argmin(((palette - observed) ** 2).sum(axis=1)))
-        total = total * 10 + digit
+    for digit in distances.argmin(axis=1):
+        total = total * 10 + int(digit)
     return total / 1000.0

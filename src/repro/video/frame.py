@@ -69,7 +69,7 @@ class TileGrid:
         [-90, 90] with 0 = horizon)."""
         yaw = yaw_deg % 360.0
         i = int(yaw / 360.0 * self.tiles_x) % self.tiles_x
-        fraction = (np.clip(pitch_deg, -90.0, 90.0) + 90.0) / 180.0
+        fraction = (min(90.0, max(-90.0, pitch_deg)) + 90.0) / 180.0
         j = min(self.tiles_y - 1, int(fraction * self.tiles_y))
         return (i, j)
 

@@ -47,10 +47,26 @@ def psnr_from_mse(mse: float) -> float:
     return 10.0 * math.log10(_PEAK_SQUARED / mse)
 
 
+#: Per-config memo for the hot R-D helpers, keyed by object identity —
+#: hashing a frozen dataclass on every per-tile call costs more than the
+#: arithmetic it saves.  The entry keeps a strong reference to the
+#: config so its id cannot be recycled.
+_CONFIG_MEMO: dict = {}
+
+
+def _config_memo(config: VideoConfig) -> tuple:
+    entry = _CONFIG_MEMO.get(id(config))
+    if entry is None or entry[0] is not config:
+        bits_per_frame = config.full_quality_bitrate / config.fps
+        anchor = bits_per_frame / (config.width * config.height)
+        entry = (config, anchor, {})
+        _CONFIG_MEMO[id(config)] = entry
+    return entry
+
+
 def anchor_bpp(config: VideoConfig) -> float:
     """Bits-per-pixel of the full-quality encoded stream."""
-    bits_per_frame = config.full_quality_bitrate / config.fps
-    return bits_per_frame / (config.width * config.height)
+    return _config_memo(config)[1]
 
 
 def psnr_from_bpp(bpp: float, config: VideoConfig, complexity: float = 1.0) -> float:
@@ -72,11 +88,18 @@ def scale_psnr(level: float, config: VideoConfig) -> float:
     """PSNR cost of downscaling a tile to compression level ``level``.
 
     Level 1 (no downscale) is lossless — returned as +inf so that the
-    MSE-domain combination adds nothing.
+    MSE-domain combination adds nothing.  Levels come from the small
+    per-mode set, so the value is memoised per config.
     """
-    if level <= 1.0:
-        return float("inf")
-    return config.scale_anchor_psnr - config.scale_db_per_octave * math.log2(level)
+    cache = _config_memo(config)[2]
+    value = cache.get(level)
+    if value is None:
+        if level <= 1.0:
+            value = float("inf")
+        else:
+            value = config.scale_anchor_psnr - config.scale_db_per_octave * math.log2(level)
+        cache[level] = value
+    return value
 
 
 def combine_psnr_mse(*psnrs: float) -> float:

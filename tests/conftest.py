@@ -62,3 +62,18 @@ def session_config() -> SessionConfig:
 @pytest.fixture
 def content(grid, rng) -> ContentModel:
     return ContentModel(grid, rng)
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_result_cache(tmp_path_factory):
+    """Point the persistent experiment cache at a per-run scratch dir.
+
+    Unit tests must never read results produced by a previous run (or
+    pollute the working tree with ``.repro_cache/``); the benchmark
+    suite manages its own persistent cache in ``benchmarks/conftest.py``.
+    """
+    from repro.experiments import cache
+
+    cache.set_cache_dir(tmp_path_factory.mktemp("repro_cache"))
+    yield
+    cache.set_cache_dir(None)

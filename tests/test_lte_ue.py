@@ -104,3 +104,54 @@ def test_steady_buffer_tracks_offered_load():
         sim_i.every(0.1, lambda ue=ue, out=sink: out.append(ue.buffer_level))
         sim_i.run(30.0)
     assert np.mean(levels_high[50:]) > np.mean(levels_low[50:])
+
+
+def test_idle_ue_pauses_and_send_wakes():
+    """With nothing to send the subframe process sleeps; send() revives it."""
+    sim = Simulation()
+    delivered = []
+    ue = UeUplink(sim, _quiet_lte(), RngRegistry(5).stream("ue"), sink=delivered.append)
+    sim.run(0.5)
+    assert ue._tick.paused
+    ue.send(Packet(kind="video", size_bytes=600, created=sim.now))
+    assert not ue._tick.paused
+    sim.run(0.5)
+    assert delivered
+    assert ue.bytes_sent >= 600
+    assert ue._tick.paused  # buffer and BSR ring drained → asleep again
+
+
+def test_idle_backfill_keeps_full_subframe_grid():
+    """Paused subframes still appear as all-zero diag records on the grid."""
+    from repro.units import LTE_SUBFRAME
+
+    records = []
+    sim = Simulation()
+    ue = UeUplink(sim, _quiet_lte(), RngRegistry(3).stream("ue"))
+    ue.diag.subscribe(records.extend)
+    sim.run(0.2)
+    reference = Simulation()
+    grid = []
+    reference.every(LTE_SUBFRAME, lambda: grid.append(reference.now))
+    reference.run(0.2)
+    times = [r.time for r in records]
+    assert len(times) > 150
+    assert times == grid[: len(times)]
+    assert all(r.buffer_bytes == 0.0 and r.tbs_bytes == 0.0 for r in records)
+
+
+def test_downlink_pauses_when_queue_empty():
+    from repro.config import DownlinkConfig
+    from repro.lte.downlink import EnbDownlink
+
+    sim = Simulation()
+    out = []
+    downlink = EnbDownlink(
+        sim, DownlinkConfig(), RngRegistry(9).stream("downlink"), sink=out.append
+    )
+    sim.run(0.5)
+    assert downlink._tick.paused
+    downlink.deliver(Packet(kind="diag", size_bytes=300, created=sim.now))
+    sim.run(0.5)
+    assert out
+    assert downlink._tick.paused

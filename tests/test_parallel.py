@@ -1,0 +1,96 @@
+"""Parallel session execution: determinism + worker-count plumbing."""
+
+import dataclasses
+import os
+
+import pytest
+
+from repro.experiments import cache, parallel
+from repro.experiments.microbench import SCHEMES
+from repro.experiments.parallel import SessionTask, resolve_jobs, run_tasks
+from repro.experiments.runner import (
+    ExperimentSettings,
+    clear_cache,
+    run_grid,
+    run_sessions,
+)
+
+TINY = ExperimentSettings(duration=8.0, warmup=4.0, repetitions=1, num_users=2)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_and_disabled_cache():
+    """Both cache layers off: every leg must really simulate."""
+    clear_cache()
+    cache.set_cache_enabled(False)
+    yield
+    cache.set_cache_enabled(None)
+    clear_cache()
+
+
+def _digest(result):
+    return (
+        repr(dataclasses.asdict(result.summary)),
+        result.log.frame_delays,
+        result.log.roi_psnrs,
+        result.log.diag_seconds,
+        result.log.frames_displayed,
+    )
+
+
+def test_run_sessions_parallel_is_bit_identical_to_serial():
+    serial = run_sessions("cellular", "poi360", "gcc", TINY, jobs=1)
+    clear_cache()
+    fanned = run_sessions("cellular", "poi360", "gcc", TINY, jobs=2)
+    assert [_digest(r) for r in serial] == [_digest(r) for r in fanned]
+
+
+def test_run_grid_parallel_is_bit_identical_to_serial():
+    scenarios = ("cellular", "wireline")
+    serial = run_grid(scenarios, SCHEMES[:2], settings=TINY, jobs=1)
+    clear_cache()
+    fanned = run_grid(scenarios, SCHEMES[:2], settings=TINY, jobs=4)
+    assert serial.keys() == fanned.keys()
+    for key in serial:
+        assert [_digest(r) for r in serial[key]] == [
+            _digest(r) for r in fanned[key]
+        ]
+
+
+def test_run_tasks_preserves_task_order():
+    tasks = [
+        SessionTask(
+            scenario_name="cellular",
+            scheme="poi360",
+            transport="gcc",
+            duration=8.0,
+            warmup=4.0,
+            seed=seed,
+            profile_name="user2-typical",
+        )
+        for seed in (5, 3)
+    ]
+    results = run_tasks(tasks, jobs=2)
+    assert len(results) == 2
+    baseline = [run_tasks([task], jobs=1)[0] for task in tasks]
+    assert [_digest(r) for r in results] == [_digest(r) for r in baseline]
+
+
+def test_resolve_jobs_precedence(monkeypatch):
+    monkeypatch.delenv("REPRO_JOBS", raising=False)
+    assert resolve_jobs(None) == 1
+    assert resolve_jobs(3) == 3
+    monkeypatch.setenv("REPRO_JOBS", "5")
+    assert resolve_jobs(None) == 5
+    assert resolve_jobs(2) == 2
+    parallel.set_default_jobs(7)
+    try:
+        assert resolve_jobs(None) == 7
+    finally:
+        parallel.set_default_jobs(None)
+    assert resolve_jobs(None) == 5
+
+
+def test_resolve_jobs_zero_means_all_cores(monkeypatch):
+    monkeypatch.delenv("REPRO_JOBS", raising=False)
+    assert resolve_jobs(0) == (os.cpu_count() or 1)

@@ -130,3 +130,105 @@ def test_pending_counts_noncancelled():
     handle = sim.schedule(0.2, lambda: None)
     handle.cancel()
     assert sim.pending() == 1
+
+
+def test_deadline_boundary_event_fires_and_clock_ends_at_deadline():
+    sim = Simulation()
+    fired = []
+    sim.schedule(1.0, fired.append, "at-deadline")
+    sim.run(1.0)
+    assert fired == ["at-deadline"]
+    assert sim.now == 1.0
+
+
+def test_event_scheduled_at_deadline_during_run_fires():
+    sim = Simulation()
+    fired = []
+
+    def chain():
+        # now == 0.5; this lands exactly on the deadline of run(1.0).
+        sim.schedule(0.5, fired.append, "nested-at-deadline")
+
+    sim.schedule(0.5, chain)
+    sim.run(1.0)
+    assert fired == ["nested-at-deadline"]
+    assert sim.now == 1.0
+
+
+def test_pending_is_constant_time_and_exact_under_cancels():
+    sim = Simulation()
+    handles = [sim.schedule(0.1 + i * 0.01, lambda: None) for i in range(500)]
+    assert sim.pending() == 500
+    for handle in handles[100:]:
+        handle.cancel()
+    assert sim.pending() == 100
+    sim.run(10.0)
+    assert sim.pending() == 0
+
+
+def test_cancelled_events_are_compacted_out_of_the_heap():
+    sim = Simulation()
+    keep = [sim.schedule(1000.0, lambda: None) for _ in range(10)]
+    drop = [sim.schedule(2000.0, lambda: None) for _ in range(500)]
+    for handle in drop:
+        handle.cancel()
+    # Far-future cancelled timers must not stay resident until their
+    # deadline: the heap compacts once they dominate.
+    assert sim.pending() == 10
+    assert len(sim._queue) < 100
+    sim.run(1500.0)
+    assert all(not handle.cancelled for handle in keep)
+
+
+def test_every_while_pauses_and_wakes_on_grid():
+    sim = Simulation()
+    times = []
+    budget = {"n": 3}
+
+    def tick():
+        times.append(sim.now)
+        budget["n"] -= 1
+        return budget["n"] > 0
+
+    handle = sim.every_while(0.010, tick)
+    sim.run(0.1)
+    assert len(times) == 3
+    assert handle.paused
+    # Wake mid-interval (clock is at 0.1, wake fires at 0.1155): the
+    # process resumes at the next instant of the ORIGINAL tick grid
+    # (the float-accumulated 0.12), not at the wake instant.
+    budget["n"] = 2
+    sim.schedule(0.0155, handle.wake)
+    sim.run(0.1)
+    assert len(times) == 5
+    reference = Simulation()
+    expected = []
+    reference.every(0.010, lambda: expected.append(reference.now))
+    reference.run(0.2)
+    assert times == expected[:3] + expected[11:13]
+
+
+def test_every_while_ticks_match_every_exactly():
+    plain, gated = Simulation(), Simulation()
+    plain_times, gated_times = [], []
+    plain.every(0.001, lambda: plain_times.append(plain.now))
+    gated.every_while(0.001, lambda: gated_times.append(gated.now) or True)
+    plain.run(0.5)
+    gated.run(0.5)
+    assert gated_times == plain_times
+
+
+def test_every_while_cancel_stops_process():
+    sim = Simulation()
+    count = {"n": 0}
+
+    def tick():
+        count["n"] += 1
+        return True
+
+    handle = sim.every_while(0.01, tick)
+    sim.run(0.05)
+    handle.cancel()
+    sim.run(0.05)
+    assert count["n"] == 5
+    assert sim.pending() == 0
