@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Inspect a session's structured trace: mode switches vs congestion.
+
+Runs a short cellular POI360+FBCC call with the ``repro.obs`` trace bus
+enabled and prints the two families of control decisions side by side —
+the §4.2 compression mode switches (driven by the mismatch time M) and
+the §4.3 FBCC congestion detections (driven by the firmware buffer) —
+each with the firmware-buffer level at that instant, so you can see
+which mechanism reacted to what.
+
+Usage::
+
+    python examples/trace_inspect.py [duration_seconds]
+
+See docs/OBSERVABILITY.md for the full event catalogue and the
+``repro360 trace`` CLI that dumps the same data as JSONL/CSV.
+"""
+
+import bisect
+import sys
+
+from repro import TraceBus, run_session
+from repro.traces import scenario
+
+
+def level_at(times, levels, t):
+    """Firmware-buffer level (bytes) at the fw_buffer sample nearest t."""
+    if not times:
+        return 0.0
+    index = min(bisect.bisect_left(times, t), len(times) - 1)
+    return levels[index]
+
+
+def main() -> None:
+    duration = float(sys.argv[1]) if len(sys.argv) > 1 else 20.0
+    config = scenario(
+        "cellular", scheme="poi360", transport="fbcc", duration=duration, seed=1
+    )
+    print(f"Running a {duration:.0f}s traced 360° call (POI360 + FBCC over LTE)...")
+    result = run_session(config, trace=TraceBus())
+    bus = result.trace
+
+    fw_times, fw_levels = bus.series("fw_buffer", "level")
+    decisions = sorted(
+        bus.select(names=["mode_switch", "fbcc.congestion"]),
+        key=lambda event: event.time,
+    )
+
+    print(f"\n{len(bus)} events retained; per-subsystem counts:")
+    for subsystem, names in sorted(bus.counters_by_subsystem().items()):
+        total = sum(names.values())
+        print(f"  {subsystem:<12} {total:>6}  ({', '.join(names)})")
+
+    print(
+        f"\n{'time':>8}  {'decision':<16} {'fw buffer':>10}  detail\n" + "-" * 66
+    )
+    for event in decisions:
+        level = level_at(fw_times, fw_levels, event.time)
+        if event.name == "mode_switch":
+            detail = (
+                f"F{event.fields['from_index']} -> F{event.fields['to_index']}"
+                f" (desired F{event.fields['desired_index']},"
+                f" cap F{event.fields['cap_index']})"
+            )
+            label = "mode_switch"
+        else:
+            detail = (
+                f"hold Rv at {event.fields['held_rate_bps'] / 1e6:.2f} Mbps"
+                f" (PHY {event.fields['phy_rate_bps'] / 1e6:.2f} Mbps)"
+            )
+            label = "fbcc.congestion"
+        print(f"{event.time:8.3f}  {label:<16} {level:>8.0f} B  {detail}")
+
+    switches = bus.counters.get("mode_switch", 0)
+    detections = bus.counters.get("fbcc.congestion", 0)
+    print(
+        f"\n{switches} mode switch(es), {detections} congestion detection(s) in "
+        f"{duration:.0f}s; summary mode_switches={result.summary.mode_switches}, "
+        f"congestion_events={result.summary.congestion_events}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -34,6 +34,7 @@ from repro.config import (
     WirelineConfig,
 )
 from repro.metrics.summary import SessionLog, SessionSummary
+from repro.obs import EVENT_CATALOGUE, NULL_BUS, TraceBus, TraceEvent
 from repro.roi.users import USER_PROFILES, UserProfile, profile_by_name
 from repro.telephony.session import SessionResult, TelephonySession, run_session
 
@@ -58,6 +59,10 @@ __all__ = [
     "SessionLog",
     "SessionSummary",
     "SessionResult",
+    "EVENT_CATALOGUE",
+    "NULL_BUS",
+    "TraceBus",
+    "TraceEvent",
     "TelephonySession",
     "run_session",
     "USER_PROFILES",

@@ -4,6 +4,9 @@ Subcommands:
 
 - ``run``       one telephony session, metrics to stdout (optionally
                 exporting the raw per-frame trace);
+- ``trace``     one session with structured event tracing enabled —
+                dumps/filters the ``repro.obs`` trace (JSONL by
+                default; see docs/OBSERVABILITY.md);
 - ``sweep``     every (scheme, transport) combination on one scenario;
 - ``scenarios`` list the named scenarios;
 - ``report``    the full paper-vs-measured report (delegates to
@@ -71,6 +74,70 @@ def cmd_run(args) -> int:
     if args.export_csv:
         rows = export.write_frames_csv(args.export_csv, result.log)
         print(f"{rows} frame rows written to {args.export_csv}")
+    return 0
+
+
+def cmd_trace(args) -> int:
+    from repro.obs import EVENT_CATALOGUE, EVENT_NAMES, TraceBus
+    from repro.telephony.session import TelephonySession
+
+    if args.transport == "fbcc" and args.scenario == "wireline":
+        print("error: FBCC needs the LTE diagnostic interface", file=sys.stderr)
+        return 2
+    wanted = None
+    if args.events:
+        wanted = [name.strip() for name in args.events.split(",") if name.strip()]
+        unknown = sorted(set(wanted) - set(EVENT_CATALOGUE))
+        if unknown:
+            print(
+                f"error: unknown event(s) {', '.join(unknown)}; "
+                f"known: {', '.join(EVENT_NAMES)}",
+                file=sys.stderr,
+            )
+            return 2
+    config = scenario(
+        args.scenario,
+        scheme=args.scheme,
+        transport=args.transport,
+        duration=args.duration,
+        seed=args.seed,
+    )
+    bus = TraceBus(capacity=args.capacity) if args.capacity else TraceBus()
+    session = TelephonySession(config, trace=bus)
+    session.run(args.duration, warmup=args.warmup)
+    selected = list(bus.select(names=wanted, since=args.since, until=args.until))
+
+    handle = open(args.output, "w", newline="") if args.output else sys.stdout
+    try:
+        if args.format == "jsonl":
+            export.dump_trace_jsonl(handle, selected)
+        elif args.format == "csv":
+            rows = list(export.trace_to_dicts(selected))
+            fields = sorted({k for row in rows for k in row} - {"t", "event"})
+            import csv as _csv
+
+            writer = _csv.DictWriter(
+                handle, fieldnames=["t", "event"] + fields, extrasaction="ignore"
+            )
+            writer.writeheader()
+            writer.writerows(rows)
+        elif args.format == "table":
+            for event in selected:
+                fields = " ".join(f"{k}={v}" for k, v in event.fields.items())
+                handle.write(f"{event.time:12.6f}  {event.name:<20} {fields}\n")
+        else:  # summary
+            for subsystem, names in sorted(bus.counters_by_subsystem().items()):
+                handle.write(f"{subsystem}\n")
+                for name, count in names.items():
+                    handle.write(f"  {name:<20} {count}\n")
+    finally:
+        if handle is not sys.stdout:
+            handle.close()
+    print(
+        f"{len(selected)} event(s) dumped "
+        f"({sum(bus.counters.values())} emitted, {bus.dropped} evicted)",
+        file=sys.stderr,
+    )
     return 0
 
 
@@ -184,6 +251,41 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--export", metavar="FILE.json", default=None)
     run_parser.add_argument("--export-csv", metavar="FILE.csv", default=None)
     run_parser.set_defaults(func=cmd_run)
+
+    trace_parser = sub.add_parser(
+        "trace", help="run one session with event tracing and dump the trace"
+    )
+    trace_parser.add_argument("--scenario", default="cellular", choices=sorted(SCENARIOS))
+    trace_parser.add_argument("--duration", type=float, default=30.0)
+    trace_parser.add_argument(
+        "--warmup",
+        type=float,
+        default=0.0,
+        help="seconds simulated before t=0 of the trace window (default 0: "
+        "trace the whole run, including convergence)",
+    )
+    trace_parser.add_argument("--seed", type=int, default=1)
+    trace_parser.add_argument("--scheme", default="poi360", choices=SCHEMES)
+    trace_parser.add_argument("--transport", default="fbcc", choices=TRANSPORTS)
+    trace_parser.add_argument(
+        "--events",
+        default=None,
+        metavar="NAME[,NAME...]",
+        help="only these catalogue events (default: all)",
+    )
+    trace_parser.add_argument("--since", type=float, default=None, metavar="SECONDS")
+    trace_parser.add_argument("--until", type=float, default=None, metavar="SECONDS")
+    trace_parser.add_argument(
+        "--format", choices=("jsonl", "csv", "table", "summary"), default="jsonl"
+    )
+    trace_parser.add_argument("--output", metavar="FILE", default=None)
+    trace_parser.add_argument(
+        "--capacity",
+        type=int,
+        default=None,
+        help="trace ring size in events (default: repro.obs.DEFAULT_CAPACITY)",
+    )
+    trace_parser.set_defaults(func=cmd_trace)
 
     sweep_parser = sub.add_parser("sweep", help="all scheme/transport combos")
     _add_session_args(sweep_parser)

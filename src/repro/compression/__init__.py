@@ -21,16 +21,20 @@ __all__ = [
 ]
 
 
-def make_scheme(name, config, grid, viewer):
+def make_scheme(name, config, grid, viewer, trace=None):
     """Factory mapping a scheme name to its implementation.
 
     Parameters mirror what every scheme needs: the
     :class:`repro.config.CompressionConfig`, the tile grid, and the
-    viewer config (for FoV-sized regions).
+    viewer config (for FoV-sized regions).  ``trace`` is an optional
+    :class:`repro.obs.TraceBus`; only the adaptive scheme emits
+    (``mode_switch`` / ``mode.mismatch``).
     """
+    from repro.obs.bus import NULL_BUS
+
     name = name.lower()
     if name == "poi360":
-        return AdaptiveCompression(config, grid)
+        return AdaptiveCompression(config, grid, trace=trace or NULL_BUS)
     if name == "conduit":
         return ConduitCompression(config, grid, viewer)
     if name == "pyramid":

@@ -28,6 +28,7 @@ import numpy as np
 from repro.compression.base import CompressionScheme
 from repro.compression.modes import Mode, ModeFamily
 from repro.config import CompressionConfig
+from repro.obs.bus import NULL_BUS
 from repro.video.frame import TileGrid
 
 
@@ -44,9 +45,10 @@ class AdaptiveCompression(CompressionScheme):
     #: this fraction of the target rate.
     RATE_FIT_MARGIN = 0.85
 
-    def __init__(self, config: CompressionConfig, grid: TileGrid):
+    def __init__(self, config: CompressionConfig, grid: TileGrid, trace=NULL_BUS):
         self._config = config
         self._grid = grid
+        self._trace = trace
         self._family = ModeFamily(config)
         #: Start conservative until the first M feedback arrives.
         self._desired_index = len(self._family)
@@ -72,6 +74,14 @@ class AdaptiveCompression(CompressionScheme):
         effective = self._effective_index()
         if effective != self._last_effective:
             self.mode_switches += 1
+            if self._trace:
+                self._trace.emit(
+                    "mode_switch",
+                    from_index=self._last_effective,
+                    to_index=effective,
+                    desired_index=self._desired_index,
+                    cap_index=self._cap_index,
+                )
             self._last_effective = effective
 
     def update_mismatch(self, mismatch_s: float) -> None:
@@ -90,6 +100,8 @@ class AdaptiveCompression(CompressionScheme):
                 current, self._family.mode_for_mismatch(mismatch_s + margin).index
             )
         self._desired_index = target
+        if self._trace:
+            self._trace.emit("mode.mismatch", m_s=mismatch_s, desired_index=target)
         self._note_switch()
 
     def fit_to_rate(self, rate_bps: float, floor_rate) -> None:

@@ -15,16 +15,24 @@ import numpy as np
 
 from repro.config import ChannelConfig
 from repro.lte.tbs import cqi_from_rss
+from repro.obs.bus import NULL_BUS
 from repro.sim.engine import Simulation
 
 
 class ChannelProcess:
     """Time-varying RSS / CQI process for the sender's uplink."""
 
-    def __init__(self, sim: Simulation, config: ChannelConfig, rng: np.random.Generator):
+    def __init__(
+        self,
+        sim: Simulation,
+        config: ChannelConfig,
+        rng: np.random.Generator,
+        trace=NULL_BUS,
+    ):
         self._sim = sim
         self._config = config
         self._rng = rng
+        self._trace = trace
         self._shadow_db = 0.0
         self._outage_until = -1.0
         self._fade_db = 0.0
@@ -68,6 +76,8 @@ class ChannelProcess:
                 low, high = self._config.deep_fade_duration
                 self._fade_until = now + self._rng.uniform(low, high)
         self._cqi = cqi_from_rss(self._config.rss_dbm + self._shadow_db - self._fade_db)
+        if self._trace:
+            self._trace.emit("lte.cqi", cqi=self._cqi, rss_dbm=self.rss_dbm)
 
     @property
     def rss_dbm(self) -> float:

@@ -19,6 +19,8 @@ from __future__ import annotations
 
 from typing import Callable, List, NamedTuple, Optional
 
+from repro.obs.bus import NULL_BUS
+
 
 class DiagRecord(NamedTuple):
     """One per-subframe modem log record."""
@@ -39,11 +41,12 @@ IdleFiller = Callable[[float], None]
 class DiagMonitor:
     """Collects per-subframe records and delivers them in 40 ms batches."""
 
-    def __init__(self, sim, interval: float):
+    def __init__(self, sim, interval: float, trace=NULL_BUS):
         self._sim = sim
         self._pending: List[DiagRecord] = []
         self._listeners: List[DiagListener] = []
         self._idle_filler: Optional[IdleFiller] = None
+        self._trace = trace
         sim.every(interval, self._deliver)
 
     def subscribe(self, listener: DiagListener) -> None:
@@ -70,5 +73,12 @@ class DiagMonitor:
         if not self._pending:
             return
         batch, self._pending = self._pending, []
+        if self._trace:
+            self._trace.emit(
+                "diag.batch",
+                n=len(batch),
+                mean_level=sum(r.buffer_bytes for r in batch) / len(batch),
+                tbs_bytes=sum(r.tbs_bytes for r in batch),
+            )
         for listener in self._listeners:
             listener(batch)

@@ -29,6 +29,7 @@ from repro.lte.diagnostics import DiagMonitor
 from repro.lte.firmware_buffer import FirmwareBuffer
 from repro.lte.scheduler import EnbScheduler
 from repro.net.packet import Packet
+from repro.obs.bus import NULL_BUS
 from repro.sim.engine import Simulation
 from repro.units import LTE_SUBFRAME
 
@@ -45,14 +46,16 @@ class UeUplink:
         config: LteConfig,
         rng: np.random.Generator,
         sink: Optional[PacketSink] = None,
+        trace=NULL_BUS,
     ):
         self._sim = sim
         self._config = config
-        self.channel = ChannelProcess(sim, config.channel, rng)
+        self._trace = trace
+        self.channel = ChannelProcess(sim, config.channel, rng, trace=trace)
         self.cell = make_cell_model(sim, config.cell, rng)
         self.scheduler = EnbScheduler(config, self.channel, self.cell, rng)
         self.buffer = FirmwareBuffer(config.firmware_buffer_cap)
-        self.diag = DiagMonitor(sim, config.diag_interval)
+        self.diag = DiagMonitor(sim, config.diag_interval, trace=trace)
         self._sink = sink
         #: Ring of recent buffer levels implementing the BSR delay.
         depth = max(1, int(round(config.bsr_delay / LTE_SUBFRAME)))
@@ -71,6 +74,10 @@ class UeUplink:
     def send(self, packet: Packet) -> bool:
         """Enqueue a paced RTP packet into the firmware buffer."""
         accepted = self.buffer.push(packet)
+        if not accepted and self._trace:
+            self._trace.emit(
+                "lte.drop", size_bytes=packet.size_bytes, level=self.buffer.level
+            )
         if self._tick.paused:
             self._fill_idle(self._sim.now)
             self._tick.wake()
@@ -111,6 +118,8 @@ class UeUplink:
                     schedule(latency, sink, packet)
             level = buffer.level
         self._record(level, tbs)
+        if self._trace:
+            self._trace.emit("fw_buffer", level=level, tbs=tbs)
         # Keep ticking while any in-flight BSR slot or the buffer itself
         # is non-zero; otherwise pause until the next send() wakes us.
         return bool(level) or any(ring)

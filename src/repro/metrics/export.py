@@ -1,9 +1,19 @@
-"""Session-trace export/import (JSON and CSV).
+"""Session-trace export/import (JSON, JSONL and CSV).
 
 The paper's measurement system dumps per-frame records for offline
 comparison (§5); these helpers do the same for simulated sessions so
 results can be analysed outside Python (spreadsheets, gnuplot, R) and
 archived alongside EXPERIMENTS.md.
+
+Two families live here:
+
+- the **per-frame log** exporters (``write_json`` / ``write_frames_csv``)
+  over :class:`repro.metrics.summary.SessionLog`;
+- the **structured event trace** exporters
+  (``write_trace_jsonl`` / ``read_trace_jsonl`` / ``write_trace_csv``)
+  over a :class:`repro.obs.TraceBus` — one JSON object per line with
+  reserved keys ``t`` (simulated time) and ``event`` (catalogue name),
+  every other key an event field.  See docs/OBSERVABILITY.md.
 """
 
 from __future__ import annotations
@@ -11,9 +21,10 @@ from __future__ import annotations
 import csv
 import json
 from pathlib import Path
-from typing import Union
+from typing import IO, Iterable, Iterator, List, Optional, Union
 
 from repro.metrics.summary import SessionLog, SessionSummary
+from repro.obs.bus import TraceEvent
 
 PathLike = Union[str, Path]
 
@@ -115,6 +126,76 @@ def read_json(path: PathLike) -> SessionLog:
     """Load the raw log back from a :func:`write_json` file."""
     payload = json.loads(Path(path).read_text())
     return log_from_dict(payload["log"])
+
+
+def trace_to_dicts(events: Iterable[TraceEvent]) -> Iterator[dict]:
+    """One JSON-safe dict per event: ``{"t": ..., "event": ..., **fields}``."""
+    for event in events:
+        row = {"t": event.time, "event": event.name}
+        row.update(event.fields)
+        yield row
+
+
+def trace_from_dicts(rows: Iterable[dict]) -> List[TraceEvent]:
+    """Rebuild :class:`TraceEvent` tuples from :func:`trace_to_dicts` rows."""
+    events = []
+    for row in rows:
+        fields = {k: v for k, v in row.items() if k not in ("t", "event")}
+        events.append(TraceEvent(float(row["t"]), str(row["event"]), fields))
+    return events
+
+
+def dump_trace_jsonl(handle: IO[str], events: Iterable[TraceEvent]) -> int:
+    """Stream events as JSON Lines to an open text handle (e.g. stdout)."""
+    count = 0
+    for row in trace_to_dicts(events):
+        handle.write(json.dumps(row, separators=(",", ":")))
+        handle.write("\n")
+        count += 1
+    return count
+
+
+def write_trace_jsonl(path: PathLike, events: Iterable[TraceEvent]) -> int:
+    """Write events as JSON Lines; returns the number of lines written.
+
+    ``events`` is any event iterable — ``bus.events`` for a full dump or
+    ``bus.select(...)`` for a filtered one.
+    """
+    with open(path, "w") as handle:
+        return dump_trace_jsonl(handle, events)
+
+
+def read_trace_jsonl(path: PathLike) -> List[TraceEvent]:
+    """Load a :func:`write_trace_jsonl` file back into events."""
+    with open(path) as handle:
+        rows = [json.loads(line) for line in handle if line.strip()]
+    return trace_from_dicts(rows)
+
+
+def write_trace_csv(
+    path: PathLike,
+    events: Iterable[TraceEvent],
+    columns: Optional[List[str]] = None,
+) -> int:
+    """Write events as CSV; returns the row count.
+
+    The column set is ``t, event`` plus the union of every field name
+    seen (alphabetical), unless ``columns`` pins an explicit field list.
+    Events missing a column leave it empty — mixing event types in one
+    file stays loadable by spreadsheet tools.
+    """
+    rows = list(trace_to_dicts(events))
+    if columns is None:
+        field_names = sorted({k for row in rows for k in row} - {"t", "event"})
+    else:
+        field_names = list(columns)
+    header = ["t", "event"] + field_names
+    with open(path, "w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=header, extrasaction="ignore")
+        writer.writeheader()
+        for row in rows:
+            writer.writerow(row)
+    return len(rows)
 
 
 def write_frames_csv(path: PathLike, log: SessionLog) -> int:

@@ -18,6 +18,7 @@ from repro.lte.downlink import EnbDownlink
 from repro.lte.ue import UeUplink
 from repro.net.link import RateLimitedLink, StochasticLink
 from repro.net.packet import Packet
+from repro.obs.bus import NULL_BUS
 from repro.sim.engine import Simulation
 
 PacketSink = Callable[[Packet], None]
@@ -36,6 +37,7 @@ class ForwardPath:
         path_config: PathConfig,
         lte_config: LteConfig,
         rng: np.random.Generator,
+        trace=NULL_BUS,
     ):
         self._sim = sim
         self.config = path_config
@@ -66,7 +68,7 @@ class ForwardPath:
                 loss=path_config.random_loss,
             )
         if path_config.access == "lte":
-            self.ue = UeUplink(sim, lte_config, rng, sink=self._core.deliver)
+            self.ue = UeUplink(sim, lte_config, rng, sink=self._core.deliver, trace=trace)
         elif path_config.access == "wireline":
             self.access_link = RateLimitedLink(
                 sim,

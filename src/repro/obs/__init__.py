@@ -1,0 +1,20 @@
+"""Structured session observability: the trace bus and event catalogue.
+
+See ``docs/OBSERVABILITY.md`` for the event reference and worked
+examples, and ``docs/ARCHITECTURE.md`` for where each subsystem emits.
+"""
+
+from repro.obs.bus import DEFAULT_CAPACITY, NULL_BUS, NullTraceBus, TraceBus, TraceEvent
+from repro.obs.events import EVENT_CATALOGUE, EVENT_NAMES, EventSpec, subsystem_of
+
+__all__ = [
+    "DEFAULT_CAPACITY",
+    "NULL_BUS",
+    "NullTraceBus",
+    "TraceBus",
+    "TraceEvent",
+    "EVENT_CATALOGUE",
+    "EVENT_NAMES",
+    "EventSpec",
+    "subsystem_of",
+]

@@ -18,6 +18,7 @@ from repro.rate_control.fbcc.detector import CongestionDetector
 from repro.rate_control.fbcc.encoding import EncodingRateControl
 from repro.rate_control.fbcc.rtp import RtpRateControl
 from repro.rate_control.gcc.controller import GccSenderControl
+from repro.obs.bus import NULL_BUS
 from repro.sim.engine import Simulation
 
 
@@ -26,10 +27,18 @@ class FbccTransport(TransportController):
 
     name = "fbcc"
 
-    def __init__(self, sim: Simulation, fbcc_config: FbccConfig, gcc_config: GccConfig, diag_interval: float):
+    def __init__(
+        self,
+        sim: Simulation,
+        fbcc_config: FbccConfig,
+        gcc_config: GccConfig,
+        diag_interval: float,
+        trace=NULL_BUS,
+    ):
         self._sim = sim
         self._config = fbcc_config
-        self.gcc = GccSenderControl(gcc_config)
+        self._trace = trace
+        self.gcc = GccSenderControl(gcc_config, trace=trace)
         self.detector = CongestionDetector(fbcc_config)
         self.bandwidth = TbsBandwidthEstimator(fbcc_config.tbs_window_subframes)
         self.encoding = EncodingRateControl(
@@ -60,4 +69,19 @@ class FbccTransport(TransportController):
         self.bandwidth.on_batch(batch)
         if self.detector.on_batch(batch):
             self.encoding.on_congestion(self.bandwidth.rate_bps, self._sim.now)
+            if self._trace:
+                self._trace.emit(
+                    "fbcc.congestion",
+                    phy_rate_bps=self.bandwidth.rate_bps,
+                    held_rate_bps=self.encoding.held_rate,
+                    gamma_bytes=self.detector.gamma,
+                )
         self.rtp.on_batch(batch, self.bandwidth.rate_bps)
+        if self._trace:
+            self._trace.emit(
+                "fbcc.rate",
+                video_rate_bps=self.video_rate,
+                rtp_rate_bps=self.rtp.rate,
+                bw_est_bps=self.bandwidth.rate_bps,
+                target_buffer_bytes=self.rtp.target_buffer,
+            )

@@ -36,6 +36,11 @@ class EncodingRateControl:
         self._hold_until = now + self._config.hold_rtts * self._rtt()
         self.congestion_events += 1
 
+    @property
+    def held_rate(self) -> float:
+        """The pinned rate of the most recent Eq. (6) hold (bps)."""
+        return self._held_rate
+
     def holding(self, now: float) -> bool:
         """True while the Eq. (6) first branch is active."""
         return now <= self._hold_until

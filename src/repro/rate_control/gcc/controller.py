@@ -15,6 +15,7 @@ from typing import Any, Callable, Deque, Dict, Optional, Tuple
 
 from repro.config import GccConfig
 from repro.net.packet import Packet
+from repro.obs.bus import NULL_BUS
 from repro.rate_control.base import RttEstimator, TransportController
 from repro.rate_control.gcc.aimd import AimdRateControl
 from repro.rate_control.gcc.arrival import InterGroupFilter, TrendlineEstimator
@@ -128,11 +129,12 @@ class GccReceiver:
 class GccSenderControl:
     """Sender-side GCC: loss-based rate ∧ delay-based REMB, plus RTT."""
 
-    def __init__(self, config: GccConfig):
+    def __init__(self, config: GccConfig, trace=NULL_BUS):
         self._config = config
         self._loss_based = LossBasedControl(config)
         self._remb: Optional[float] = None
         self.rtt = RttEstimator()
+        self._trace = trace
 
     def on_feedback(self, message: Dict[str, Any], now: float) -> None:
         if "echo_send" in message:
@@ -142,6 +144,8 @@ class GccSenderControl:
             self._remb = message["rate"]
         elif kind == "rr":
             self._loss_based.on_receiver_report(message["loss"])
+        if kind in ("remb", "rr") and self._trace:
+            self._trace.emit("gcc.rate", rate_bps=self.rate, kind=kind)
 
     @property
     def rate(self) -> float:
@@ -157,9 +161,9 @@ class GccTransport(TransportController):
 
     name = "gcc"
 
-    def __init__(self, config: GccConfig):
+    def __init__(self, config: GccConfig, trace=NULL_BUS):
         self._config = config
-        self.sender = GccSenderControl(config)
+        self.sender = GccSenderControl(config, trace=trace)
 
     @property
     def video_rate(self) -> float:

@@ -25,6 +25,8 @@ import itertools
 import math
 from typing import Any, Callable, List, Optional, Tuple
 
+from repro.obs.bus import NULL_BUS
+
 #: Compact the heap only when at least this many cancelled entries are
 #: buried in it (avoids rebuilding tiny queues over and over).
 _COMPACT_MIN_DEAD = 64
@@ -153,6 +155,10 @@ class Simulation:
         self._running = False
         #: Queued entries whose handle is not cancelled (O(1) pending()).
         self._live = 0
+        #: Observability bus (``repro.obs``); the falsy NULL_BUS unless a
+        #: session enables tracing. Only ``run()`` boundaries emit — the
+        #: per-event dispatch loop stays untouched.
+        self.trace = NULL_BUS
 
     @property
     def now(self) -> float:
@@ -278,6 +284,8 @@ class Simulation:
         beyond the deadline stay queued for a later ``run()``.
         """
         deadline = math.inf if duration is None else self._now + duration
+        if self.trace:
+            self.trace.emit("sim.run_begin", deadline=deadline, pending=self._live)
         queue = self._queue
         pop = heapq.heappop
         self._running = True
@@ -299,6 +307,8 @@ class Simulation:
             self._running = False
         if deadline is not math.inf:
             self._now = deadline
+        if self.trace:
+            self.trace.emit("sim.run_end", pending=self._live)
 
     def step(self) -> bool:
         """Process a single event; return False when the queue is empty."""

@@ -21,6 +21,7 @@ from repro.config import SessionConfig
 from repro.metrics.summary import SessionLog
 from repro.net.packet import Packet
 from repro.net.path import ReversePath
+from repro.obs.bus import NULL_BUS
 from repro.rate_control.gcc.controller import GccReceiver
 from repro.roi.viewport import Viewport
 from repro.sim.engine import Simulation
@@ -72,8 +73,10 @@ class PanoramicReceiver:
         gcc_receiver: GccReceiver,
         log: SessionLog,
         rng: np.random.Generator,
+        trace=NULL_BUS,
     ):
         self._sim = sim
+        self._trace = trace
         self._config = config
         self._grid = grid
         self._content = content
@@ -228,11 +231,22 @@ class PanoramicReceiver:
             now,
             converged_level=self._converged_region_level(frame),
         )
+        roi_psnr = self._roi_region_psnr(frame, roi_tiles)
         self._log.mismatches.append(mismatch)
         self._log.roi_levels.append((now, displayed_level))
-        self._log.roi_psnrs.append(self._roi_region_psnr(frame, roi_tiles))
+        self._log.roi_psnrs.append(roi_psnr)
         self._log.display_times.append(now)
         self._log.frames_displayed += 1
+        if self._trace:
+            self._trace.emit(
+                "receiver.frame",
+                delay_s=delay,
+                psnr_db=roi_psnr,
+                roi_level=displayed_level,
+                mismatch_s=mismatch,
+            )
+            if delay > self._config.freeze_threshold:
+                self._trace.emit("receiver.freeze", delay_s=delay)
 
     def _roi_region_tiles(self):
         half = self._config.video.roi_measure_halfwidth
@@ -342,6 +356,8 @@ class PanoramicReceiver:
         return self._grid.tile_of_angles(predicted[0], predicted[1])
 
     def _send_nack(self, seqs: List[int]) -> None:
+        if self._trace:
+            self._trace.emit("receiver.nack", count=len(seqs))
         self._feedback({"type": "nack", "seqs": seqs})
 
     def _service_recovery(self) -> None:

@@ -18,6 +18,7 @@ from repro.config import SessionConfig
 from repro.metrics.summary import SessionLog
 from repro.net.packet import Packet
 from repro.net.path import ForwardPath
+from repro.obs.bus import NULL_BUS
 from repro.rate_control.base import TransportController
 from repro.rate_control.pacer import PacedSender
 from repro.sim.engine import Simulation
@@ -46,8 +47,10 @@ class PanoramicSender:
         encoder: FrameEncoder,
         grid: TileGrid,
         log: SessionLog,
+        trace=NULL_BUS,
     ):
         self._sim = sim
+        self._trace = trace
         self._config = config
         self._scheme = scheme
         self._transport = transport
@@ -87,6 +90,10 @@ class PanoramicSender:
         frame.timestamp_blocks = encode_timestamp(now)
         self._log.frames_sent += 1
         self._log.sent_bits += frame.size_bits
+        if self._trace:
+            self._trace.emit(
+                "sender.frame", target_rate_bps=target_rate, size_bits=frame.size_bits
+            )
         self._sim.schedule(self._config.video.encode_latency, self._emit_frame, frame)
 
     def _emit_frame(self, frame: EncodedFrame) -> None:

@@ -18,6 +18,7 @@ from repro.config import SessionConfig
 from repro.lte.diagnostics import DiagRecord
 from repro.metrics.summary import SessionLog, SessionSummary
 from repro.net.path import ForwardPath, ReversePath
+from repro.obs.bus import NULL_BUS, TraceBus
 from repro.rate_control.base import TransportController
 from repro.rate_control.fbcc.controller import FbccTransport
 from repro.rate_control.gcc.controller import GccReceiver, GccTransport
@@ -36,11 +37,18 @@ from repro.video.frame import TileGrid
 
 @dataclass
 class SessionResult:
-    """Everything a session produced."""
+    """Everything a session produced.
+
+    ``trace`` is the session's :class:`repro.obs.TraceBus` when tracing
+    was enabled (``run_session(..., trace=True)``), else ``None`` — the
+    default keeps cached results and the parallel runner byte-identical
+    to untraced runs.
+    """
 
     config: SessionConfig
     summary: SessionSummary
     log: SessionLog
+    trace: Optional[TraceBus] = None
 
 
 class TelephonySession:
@@ -55,6 +63,7 @@ class TelephonySession:
         config: SessionConfig,
         profile: Optional[UserProfile] = None,
         head_trace=None,
+        trace=False,
     ):
         if profile is not None:
             config = dataclasses.replace(config, viewer=profile.apply(config.viewer))
@@ -62,25 +71,38 @@ class TelephonySession:
         self.sim = Simulation()
         self.rng = RngRegistry(config.seed)
         self.log = SessionLog()
+        # ``trace`` is False (off), True (fresh bus), or a TraceBus the
+        # caller built (custom capacity). Emissions only read component
+        # state — never an RNG stream, never the event queue — so an
+        # enabled bus cannot perturb the session.
+        if trace is True:
+            trace = TraceBus()
+        elif not trace:
+            trace = NULL_BUS
+        if trace:
+            trace.bind_clock(lambda: self.sim._now)
+        self.trace = trace
+        self.sim.trace = trace
 
         video = config.video
         self.grid = TileGrid(video.width, video.height, video.tiles_x, video.tiles_y)
         self.content = ContentModel(self.grid, self.rng.stream("content"))
 
         self.forward = ForwardPath(
-            self.sim, config.path, config.lte, self.rng.stream("forward")
+            self.sim, config.path, config.lte, self.rng.stream("forward"), trace=trace
         )
         self.reverse = ReversePath(self.sim, config.path, self.rng.stream("reverse"))
 
         self.transport = self._build_transport()
         scheme = make_scheme(
-            config.scheme, config.compression, self.grid, config.viewer
+            config.scheme, config.compression, self.grid, config.viewer, trace=trace
         )
         self.scheme = scheme
 
         encoder = FrameEncoder(video, self.grid, self.content, self.rng.stream("encoder"))
         self.sender = PanoramicSender(
-            self.sim, config, scheme, self.transport, self.forward, encoder, self.grid, self.log
+            self.sim, config, scheme, self.transport, self.forward, encoder, self.grid,
+            self.log, trace=trace,
         )
 
         if head_trace is not None:
@@ -112,6 +134,7 @@ class TelephonySession:
             gcc_receiver,
             self.log,
             self.rng.stream("receiver"),
+            trace=trace,
         )
 
         self.forward.set_receiver(self.receiver.on_media_packet)
@@ -127,7 +150,7 @@ class TelephonySession:
     def _build_transport(self) -> TransportController:
         name = self.config.transport.lower()
         if name == "gcc":
-            return GccTransport(self.config.gcc)
+            return GccTransport(self.config.gcc, trace=self.trace)
         if name == "gcc_ss":
             from repro.rate_control.gcc.sendside import SendSideGccTransport
 
@@ -139,7 +162,8 @@ class TelephonySession:
                     "use transport='gcc' on wireline access"
                 )
             return FbccTransport(
-                self.sim, self.config.fbcc, self.config.gcc, self.config.lte.diag_interval
+                self.sim, self.config.fbcc, self.config.gcc,
+                self.config.lte.diag_interval, trace=self.trace,
             )
         raise ValueError(f"unknown transport: {name!r}")
 
@@ -174,12 +198,21 @@ class TelephonySession:
         and the paper reports steady telephony behaviour.
         """
         duration = duration if duration is not None else self.config.duration
+        if self.trace:
+            self.trace.emit(
+                "session.start",
+                scheme=self.config.scheme,
+                transport=self.config.transport,
+                seed=self.config.seed,
+            )
         if warmup > 0.0:
             self.sim.run(warmup)
             self.log.reset()
             self.log.start_time = self.sim.now
             self._baseline_dropped = self.sender.pacer.dropped_frames
             self._baseline_lost = self.forward.lost_packets
+            if self.trace:
+                self.trace.emit("session.warmup_done")
         self.sim.run(duration)
         self._finalise_counters()
         summary = SessionSummary.from_log(
@@ -189,7 +222,12 @@ class TelephonySession:
             duration=duration,
             freeze_threshold=self.config.freeze_threshold,
         )
-        return SessionResult(config=self.config, summary=summary, log=self.log)
+        return SessionResult(
+            config=self.config,
+            summary=summary,
+            log=self.log,
+            trace=self.trace if self.trace else None,
+        )
 
     def _finalise_counters(self) -> None:
         log = self.log
@@ -207,6 +245,15 @@ def run_session(
     profile: Optional[UserProfile] = None,
     duration: Optional[float] = None,
     warmup: float = 0.0,
+    trace=False,
 ) -> SessionResult:
-    """Build and run one telephony session."""
-    return TelephonySession(config, profile=profile).run(duration, warmup=warmup)
+    """Build and run one telephony session.
+
+    ``trace=True`` attaches a :class:`repro.obs.TraceBus` to every
+    subsystem and returns it on ``SessionResult.trace`` (see
+    docs/OBSERVABILITY.md); a :class:`~repro.obs.TraceBus` instance may
+    be passed instead for a custom ring capacity.
+    """
+    return TelephonySession(config, profile=profile, trace=trace).run(
+        duration, warmup=warmup
+    )

@@ -61,3 +61,55 @@ def test_run_exports_trace(tmp_path, capsys):
 def test_unknown_scheme_rejected():
     with pytest.raises(SystemExit):
         cli.main(["run", "--scheme", "hologram"])
+
+
+def test_trace_dumps_jsonl(capsys):
+    code = cli.main(["trace", "--scenario", "cellular", "--duration", "5"])
+    assert code == 0
+    out = capsys.readouterr().out
+    names = {json.loads(line)["event"] for line in out.strip().splitlines()}
+    assert "mode_switch" in names
+    assert "fbcc.congestion" in names
+    assert "fw_buffer" in names
+
+
+def test_trace_event_filter_and_window(capsys):
+    code = cli.main(
+        ["trace", "--scenario", "cellular", "--duration", "3",
+         "--events", "fw_buffer", "--since", "1.0", "--until", "2.0"]
+    )
+    assert code == 0
+    rows = [json.loads(line) for line in capsys.readouterr().out.strip().splitlines()]
+    assert rows
+    assert all(row["event"] == "fw_buffer" for row in rows)
+    assert all(1.0 <= row["t"] <= 2.0 for row in rows)
+
+
+def test_trace_rejects_unknown_event(capsys):
+    code = cli.main(
+        ["trace", "--scenario", "cellular", "--duration", "2", "--events", "nope"]
+    )
+    assert code == 2
+    assert "unknown event" in capsys.readouterr().err
+
+
+def test_trace_summary_format(capsys):
+    code = cli.main(
+        ["trace", "--scenario", "cellular", "--duration", "2", "--format", "summary"]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "lte" in out
+    assert "fw_buffer" in out
+
+
+def test_trace_writes_csv_file(tmp_path, capsys):
+    path = tmp_path / "trace.csv"
+    code = cli.main(
+        ["trace", "--scenario", "cellular", "--duration", "2",
+         "--events", "fw_buffer", "--format", "csv", "--output", str(path)]
+    )
+    assert code == 0
+    lines = path.read_text().strip().splitlines()
+    assert lines[0].startswith("t,event")
+    assert len(lines) > 100

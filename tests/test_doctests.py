@@ -11,6 +11,7 @@ import repro.experiments.sweeps
 import repro.metrics.freeze
 import repro.metrics.stability
 import repro.metrics.stats
+import repro.obs.bus
 import repro.telephony.timestamping
 import repro.units
 import repro.video.projection
@@ -23,6 +24,7 @@ MODULES = [
     repro.compression.matrix,
     repro.compression.modes,
     repro.compression.pyramid_geo,
+    repro.obs.bus,
     repro.telephony.timestamping,
     repro.metrics.freeze,
     repro.metrics.stability,

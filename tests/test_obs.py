@@ -1,0 +1,250 @@
+"""Tests for the ``repro.obs`` trace bus and its session wiring."""
+
+import io
+import json
+import pickle
+
+import pytest
+
+from repro import NULL_BUS, TraceBus, TraceEvent, run_session
+from repro.metrics import export
+from repro.metrics.export import log_to_dict, summary_to_dict
+from repro.obs import EVENT_CATALOGUE, EVENT_NAMES, subsystem_of
+from repro.obs.bus import NullTraceBus
+from repro.telephony.session import TelephonySession
+from repro.traces.scenarios import scenario
+
+
+def _short_cellular(**overrides):
+    return scenario(
+        "cellular", scheme="poi360", transport="fbcc", duration=5.0, seed=1, **overrides
+    )
+
+
+@pytest.fixture(scope="module")
+def traced_result():
+    return run_session(_short_cellular(), warmup=0.0, trace=True)
+
+
+# ----------------------------------------------------------------------
+# Bus mechanics
+# ----------------------------------------------------------------------
+
+
+def test_null_bus_is_falsy_noop():
+    assert not NULL_BUS
+    assert isinstance(NULL_BUS, NullTraceBus)
+    NULL_BUS.emit("anything", x=1)  # must not raise or store
+    assert NULL_BUS.events == ()
+    assert NULL_BUS.counters == {}
+    assert list(NULL_BUS.select(names="anything")) == []
+    assert NULL_BUS.series("anything", "x") == ([], [])
+    assert NULL_BUS.counters_by_subsystem() == {}
+
+
+def test_trace_bus_records_and_counts():
+    bus = TraceBus(clock=lambda: 2.5)
+    assert bus
+    bus.emit("mode_switch", to_index=3)
+    bus.emit("mode_switch", to_index=4)
+    bus.emit("fw_buffer", level=10.0, tbs=0.0)
+    assert len(bus) == 3
+    assert bus.counters == {"mode_switch": 2, "fw_buffer": 1}
+    event = bus.events[0]
+    assert event == TraceEvent(2.5, "mode_switch", {"to_index": 3})
+
+
+def test_ring_eviction_keeps_exact_counters():
+    bus = TraceBus(capacity=4)
+    for i in range(10):
+        bus.emit("e", i=i)
+    assert len(bus) == 4
+    assert bus.dropped == 6
+    assert bus.counters["e"] == 10
+    # The ring keeps the most recent events.
+    assert [event.fields["i"] for event in bus.events] == [6, 7, 8, 9]
+
+
+def test_select_filters_by_name_and_window():
+    times = iter([0.0, 1.0, 2.0, 3.0])
+    bus = TraceBus(clock=lambda: next(times))
+    bus.emit("a")
+    bus.emit("b")
+    bus.emit("a")
+    bus.emit("b")
+    assert [e.time for e in bus.select(names="a")] == [0.0, 2.0]
+    assert [e.name for e in bus.select(since=1.0, until=2.0)] == ["b", "a"]
+    assert [e.name for e in bus.select(names=["a", "b"], since=3.0)] == ["b"]
+
+
+def test_series_extracts_aligned_lists():
+    times = iter([0.1, 0.2, 0.3])
+    bus = TraceBus(clock=lambda: next(times))
+    bus.emit("fw_buffer", level=1.0, tbs=0.0)
+    bus.emit("other")
+    bus.emit("fw_buffer", level=2.0, tbs=5.0)
+    t, v = bus.series("fw_buffer", "level")
+    assert t == [0.1, 0.3]
+    assert v == [1.0, 2.0]
+
+
+def test_bus_pickles_without_its_clock():
+    bus = TraceBus(clock=lambda: 1.0)
+    bus.emit("a", x=1)
+    clone = pickle.loads(pickle.dumps(bus))
+    assert clone.events == bus.events
+    assert clone.counters == bus.counters
+    clone.emit("b")  # the restored default clock must work
+    assert clone.events[-1].time == 0.0
+
+
+def test_invalid_capacity_rejected():
+    with pytest.raises(ValueError):
+        TraceBus(capacity=0)
+
+
+def test_subsystem_of_falls_back_to_prefix():
+    assert subsystem_of("fw_buffer") == "lte"
+    assert subsystem_of("fbcc.congestion") == "fbcc"
+    assert subsystem_of("custom.thing") == "custom"
+    assert subsystem_of("bare_name") == "other"
+
+
+# ----------------------------------------------------------------------
+# Session wiring
+# ----------------------------------------------------------------------
+
+
+def test_disabled_session_has_no_trace():
+    session = TelephonySession(_short_cellular())
+    assert session.trace is NULL_BUS
+    assert session.sim.trace is NULL_BUS
+    result = session.run(duration=1.0)
+    assert result.trace is None
+    assert NULL_BUS.events == ()  # nothing leaked into the shared null bus
+
+
+def test_traced_session_returns_its_bus(traced_result):
+    bus = traced_result.trace
+    assert isinstance(bus, TraceBus)
+    assert len(bus) > 0
+    # Every emitted name is in the catalogue (docs/tooling contract).
+    assert set(bus.counters) <= set(EVENT_CATALOGUE)
+
+
+def test_required_events_present(traced_result):
+    counters = traced_result.trace.counters
+    assert counters.get("mode_switch", 0) >= 1
+    assert counters.get("fbcc.congestion", 0) >= 1
+    assert counters.get("fw_buffer", 0) >= 1000  # per-subframe
+    assert counters.get("diag.batch", 0) >= 100
+    assert counters.get("sender.frame", 0) >= 100
+    assert counters.get("receiver.frame", 0) >= 50
+    assert counters["session.start"] == 1
+
+
+def test_event_ordering_matches_sim_time(traced_result):
+    events = traced_result.trace.events
+    times = [event.time for event in events]
+    assert times == sorted(times)
+    assert times[0] >= 0.0
+    assert times[-1] <= 5.0 + 1e-9
+
+
+def test_fw_buffer_series_is_per_subframe(traced_result):
+    times, levels = traced_result.trace.series("fw_buffer", "level")
+    assert len(times) == traced_result.trace.counters["fw_buffer"]
+    # Ticks sit on the 1 ms subframe grid.
+    deltas = [b - a for a, b in zip(times, times[1:])]
+    assert min(deltas) >= 0.001 - 1e-9
+
+
+def test_tracing_changes_no_metric_and_no_rng_draw():
+    config = _short_cellular()
+    plain = TelephonySession(config)
+    traced = TelephonySession(config, trace=True)
+    result_plain = plain.run(duration=3.0, warmup=1.0)
+    result_traced = traced.run(duration=3.0, warmup=1.0)
+    untraced = json.dumps(summary_to_dict(result_plain.summary), sort_keys=True)
+    with_trace = json.dumps(summary_to_dict(result_traced.summary), sort_keys=True)
+    assert untraced == with_trace
+    assert json.dumps(log_to_dict(result_plain.log), sort_keys=True) == json.dumps(
+        log_to_dict(result_traced.log), sort_keys=True
+    )
+    # Every RNG stream must sit at exactly the same point: tracing may
+    # not consume (or add) a single draw anywhere in the stack.
+    for name in ("forward", "reverse", "content", "encoder", "head", "receiver"):
+        state_plain = plain.rng.stream(name).bit_generator.state
+        state_traced = traced.rng.stream(name).bit_generator.state
+        assert state_plain == state_traced, f"stream {name!r} diverged"
+
+
+def test_warmup_event_emitted():
+    result = run_session(_short_cellular(), duration=2.0, warmup=1.0, trace=True)
+    marks = list(result.trace.select(names="session.warmup_done"))
+    assert len(marks) == 1
+    assert marks[0].time == pytest.approx(1.0)
+
+
+# ----------------------------------------------------------------------
+# Export round-trips
+# ----------------------------------------------------------------------
+
+
+def test_trace_jsonl_round_trip(tmp_path, traced_result):
+    bus = traced_result.trace
+    path = tmp_path / "trace.jsonl"
+    written = export.write_trace_jsonl(path, bus.events)
+    assert written == len(bus)
+    loaded = export.read_trace_jsonl(path)
+    assert loaded == list(bus.events)
+
+
+def test_trace_csv_has_union_columns(tmp_path):
+    bus = TraceBus(clock=lambda: 0.5)
+    bus.emit("a", x=1)
+    bus.emit("b", y=2.5)
+    path = tmp_path / "trace.csv"
+    assert export.write_trace_csv(path, bus.events) == 2
+    lines = path.read_text().strip().splitlines()
+    assert lines[0] == "t,event,x,y"
+    assert lines[1] == "0.5,a,1,"
+    assert lines[2] == "0.5,b,,2.5"
+
+
+def test_dump_trace_jsonl_streams_to_handle():
+    bus = TraceBus(clock=lambda: 1.25)
+    bus.emit("mode_switch", to_index=2)
+    sink = io.StringIO()
+    assert export.dump_trace_jsonl(sink, bus.events) == 1
+    row = json.loads(sink.getvalue())
+    assert row == {"t": 1.25, "event": "mode_switch", "to_index": 2}
+
+
+# ----------------------------------------------------------------------
+# Catalogue / docs contract
+# ----------------------------------------------------------------------
+
+
+def test_catalogue_is_complete_and_consistent():
+    assert set(EVENT_NAMES) == set(EVENT_CATALOGUE)
+    for name, spec in EVENT_CATALOGUE.items():
+        assert spec.name == name
+        assert spec.subsystem
+        assert spec.site.startswith("repro.")
+        assert spec.description
+
+
+def test_observability_doc_mentions_every_event(repo_root=None):
+    from pathlib import Path
+
+    doc = Path(__file__).resolve().parent.parent / "docs" / "OBSERVABILITY.md"
+    text = doc.read_text()
+    missing = [name for name in EVENT_NAMES if f"`{name}`" not in text]
+    assert not missing, f"docs/OBSERVABILITY.md is missing events: {missing}"
+
+
+def test_traced_fields_match_catalogue(traced_result):
+    for event in traced_result.trace.events:
+        spec = EVENT_CATALOGUE[event.name]
+        assert set(event.fields) == set(spec.fields), event.name

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Check that relative markdown links in the repo's docs resolve.
+
+Walks every tracked ``*.md`` file (skipping caches, virtualenvs and the
+git directory), extracts inline ``[text](target)`` links, and verifies
+that each relative target exists on disk. External links (``http(s)://``,
+``mailto:``) and pure in-page anchors (``#...``) are ignored; a
+``path#fragment`` target is checked for the path only.
+
+Usage::
+
+    python tools/check_doc_links.py [root]
+
+Exits 0 when all links resolve, 1 otherwise (listing every dead link).
+"""
+
+import re
+import sys
+from pathlib import Path
+
+SKIP_DIRS = {".git", ".repro_cache", "__pycache__", ".pytest_cache", "node_modules", ".venv"}
+LINK_RE = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)\)")
+IGNORED_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def iter_markdown(root: Path):
+    for path in sorted(root.rglob("*.md")):
+        if not any(part in SKIP_DIRS for part in path.parts):
+            yield path
+
+
+def dead_links(path: Path):
+    """Yield (line_number, target) for each unresolvable relative link."""
+    text = path.read_text(encoding="utf-8")
+    for number, line in enumerate(text.splitlines(), start=1):
+        for match in LINK_RE.finditer(line):
+            target = match.group(1)
+            if target.startswith(IGNORED_PREFIXES):
+                continue
+            relative = target.split("#", 1)[0]
+            if not relative:
+                continue
+            if not (path.parent / relative).exists():
+                yield number, target
+
+
+def main(argv=None):
+    argv = sys.argv[1:] if argv is None else argv
+    root = Path(argv[0]) if argv else Path(__file__).resolve().parent.parent
+    failures = []
+    checked = 0
+    for path in iter_markdown(root):
+        checked += 1
+        for number, target in dead_links(path):
+            failures.append(f"{path.relative_to(root)}:{number}: dead link -> {target}")
+    for failure in failures:
+        print(failure)
+    print(f"{checked} markdown file(s) checked, {len(failures)} dead link(s)")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
