@@ -28,11 +28,21 @@ class ConduitCompression(CompressionScheme):
         self._config = config
         self._grid = grid
         self._offsets = fov_tile_offsets(grid, viewer)
+        #: Crop matrices per ROI centre — the crop pattern is a pure
+        #: function of the ROI, and sharing one read-only array per ROI
+        #: lets the encoder's per-matrix caches hit across frames.
+        self._matrix_cache: dict = {}
 
     def matrix(self, sender_roi: Tuple[int, int]) -> np.ndarray:
+        key = (sender_roi[0] % self._grid.tiles_x, sender_roi[1])
+        cached = self._matrix_cache.get(key)
+        if cached is not None:
+            return cached
         matrix = np.full(
             (self._grid.tiles_x, self._grid.tiles_y), self._config.conduit_l_max
         )
         for i, j in roi_region_tiles(self._grid, sender_roi, self._offsets):
             matrix[i, j] = self._config.l_min
+        matrix.flags.writeable = False
+        self._matrix_cache[key] = matrix
         return matrix

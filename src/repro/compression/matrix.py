@@ -5,11 +5,19 @@ The compression matrix ``L`` assigns every tile its compression level
 mode family ``l_ij = C^(dx + dy)`` around the ROI centre, with ``dx``
 cyclic (yaw wraps) and ``dy`` absolute.  When the ROI centre shifts,
 rebuilding the matrix is exactly the paper's "cyclic shift".
+
+Because ``dx`` is cyclic, the matrix for ROI ``(i*, j*)`` is the matrix
+for ``(0, j*)`` rolled ``i*`` rows along the x axis — so the module
+keeps a **mode-matrix cache**: one template per ``(grid, C, plateau,
+j*)``, rolled (and also cached) per ``i*``.  Cached matrices are marked
+read-only and shared between frames; they are bit-identical to a fresh
+:func:`build_mode_matrix_reference` build, which property tests enforce.
 """
 
 from __future__ import annotations
 
 import math
+from collections import OrderedDict
 from typing import List, Tuple
 
 import numpy as np
@@ -17,29 +25,42 @@ import numpy as np
 from repro.config import ViewerConfig
 from repro.video.frame import TileGrid
 
+#: Rolled-matrix cache entries kept (per process).  A full family on the
+#: paper's grid is 9 modes x 8 j* x 12 i* = 864 matrices of 96 floats,
+#: so the cap is generous headroom, not a working-set limit.
+_MATRIX_CACHE_MAX = 4096
 
-def build_mode_matrix(
+#: ``(tiles_x, tiles_y, c, px, py, j*) ->`` template matrix at ``i* = 0``.
+_TEMPLATE_CACHE: "OrderedDict[tuple, np.ndarray]" = OrderedDict()
+
+#: ``template key + (i*,) ->`` rolled read-only matrix.
+_MATRIX_CACHE: "OrderedDict[tuple, np.ndarray]" = OrderedDict()
+
+#: ``id(matrix) -> (matrix, ratio)`` for read-only (cached) matrices.
+_RATIO_CACHE: "OrderedDict[int, tuple]" = OrderedDict()
+
+
+def clear_matrix_cache() -> None:
+    """Drop every cached template, rolled matrix, and pixel ratio."""
+    _TEMPLATE_CACHE.clear()
+    _MATRIX_CACHE.clear()
+    _RATIO_CACHE.clear()
+
+
+def _evict_oldest(cache: OrderedDict, cap: int) -> None:
+    while len(cache) >= cap:
+        cache.popitem(last=False)
+
+
+def build_mode_matrix_reference(
     grid: TileGrid,
     roi: Tuple[int, int],
     c: float,
     plateau: Tuple[int, int] = (0, 0),
 ) -> np.ndarray:
-    """Eq. (1): ``L[i, j] = C^(dx(i,i*) + dy(j,j*))``.
-
-    ``plateau`` keeps a full-quality core of ``±plateau`` tiles around
-    the ROI centre before the exponential decay starts — the ROI the
-    viewer actually looks at spans several tiles, and compressing the
-    tile right next to the gaze defeats the point of ROI streaming.
-    Distances are reduced by the plateau half-widths (floored at 0).
-
-    >>> import repro.video.frame as f
-    >>> g = f.TileGrid(width=12, height=8, tiles_x=12, tiles_y=8)
-    >>> m = build_mode_matrix(g, (0, 0), 1.5)
-    >>> float(m[0, 0])
-    1.0
-    >>> float(m[6, 0]) == 1.5 ** 6
-    True
-    """
+    """Eq. (1) computed directly (no cache) — the reference the cached
+    path is property-tested against, and the "before" leg of the
+    ``matrix_build`` microbenchmark."""
     i_star, j_star = roi
     i = np.arange(grid.tiles_x)
     raw = np.abs(i - i_star) % grid.tiles_x
@@ -51,9 +72,75 @@ def build_mode_matrix(
     return np.power(c, dx[:, None] + dy[None, :]).astype(float)
 
 
+def build_mode_matrix(
+    grid: TileGrid,
+    roi: Tuple[int, int],
+    c: float,
+    plateau: Tuple[int, int] = (0, 0),
+) -> np.ndarray:
+    """Eq. (1): ``L[i, j] = C^(dx(i,i*) + dy(j,j*))`` (cached).
+
+    ``plateau`` keeps a full-quality core of ``±plateau`` tiles around
+    the ROI centre before the exponential decay starts — the ROI the
+    viewer actually looks at spans several tiles, and compressing the
+    tile right next to the gaze defeats the point of ROI streaming.
+    Distances are reduced by the plateau half-widths (floored at 0).
+
+    The returned matrix is a cached, **read-only** array shared by every
+    frame with the same ``(grid, C, plateau, roi)`` — the exponents of
+    Eq. (1) are cyclic in x, so it is the ``(0, j*)`` template rolled
+    ``i*`` rows, bit-identical to an uncached build.
+
+    >>> import repro.video.frame as f
+    >>> g = f.TileGrid(width=12, height=8, tiles_x=12, tiles_y=8)
+    >>> m = build_mode_matrix(g, (0, 0), 1.5)
+    >>> float(m[0, 0])
+    1.0
+    >>> float(m[6, 0]) == 1.5 ** 6
+    True
+    """
+    i_star, j_star = roi
+    i_star %= grid.tiles_x
+    px, py = plateau
+    template_key = (grid.tiles_x, grid.tiles_y, float(c), px, py, j_star)
+    matrix_key = template_key + (i_star,)
+    matrix = _MATRIX_CACHE.get(matrix_key)
+    if matrix is not None:
+        return matrix
+    template = _TEMPLATE_CACHE.get(template_key)
+    if template is None:
+        template = build_mode_matrix_reference(grid, (0, j_star), c, plateau)
+        template.flags.writeable = False
+        _evict_oldest(_TEMPLATE_CACHE, _MATRIX_CACHE_MAX)
+        _TEMPLATE_CACHE[template_key] = template
+    if i_star == 0:
+        matrix = template
+    else:
+        matrix = np.roll(template, i_star, axis=0)
+        matrix.flags.writeable = False
+    _evict_oldest(_MATRIX_CACHE, _MATRIX_CACHE_MAX)
+    _MATRIX_CACHE[matrix_key] = matrix
+    return matrix
+
+
 def pixel_ratio(matrix: np.ndarray) -> float:
-    """Compressed-to-raw pixel ratio of a frame under ``matrix``."""
-    return float((1.0 / matrix).mean())
+    """Compressed-to-raw pixel ratio of a frame under ``matrix``.
+
+    For the read-only matrices handed out by :func:`build_mode_matrix`
+    the value is memoised by matrix identity (it only depends on the
+    mode and ``j*`` — rolling permutes tiles, not their levels — but the
+    memo keys the exact array so the cached value is always the one
+    computed from that array's own element order, i.e. bit-identical to
+    an uncached call).
+    """
+    entry = _RATIO_CACHE.get(id(matrix))
+    if entry is not None and entry[0] is matrix:
+        return entry[1]
+    value = float((1.0 / matrix).mean())
+    if not matrix.flags.writeable:
+        _evict_oldest(_RATIO_CACHE, _MATRIX_CACHE_MAX)
+        _RATIO_CACHE[id(matrix)] = (matrix, value)
+    return value
 
 
 def fov_tile_offsets(grid: TileGrid, viewer: ViewerConfig) -> List[Tuple[int, int]]:

@@ -14,6 +14,10 @@ Worker count resolution (first match wins):
 2. :func:`set_default_jobs` (the CLI's ``--jobs`` flag sets this),
 3. the ``REPRO_JOBS`` environment variable,
 4. serial execution (1).
+
+Even with workers granted, :func:`run_tasks` runs serially when a pool
+cannot win: single-core machines and task lists shorter than the worker
+count (see the function docstring — documented in docs/PERFORMANCE.md).
 """
 
 from __future__ import annotations
@@ -94,12 +98,23 @@ def _run_task(task: SessionTask) -> SessionResult:
 def run_tasks(tasks: Sequence[SessionTask], jobs: Optional[int] = None) -> List[SessionResult]:
     """Run tasks, fanning across processes; results are in task order.
 
-    With one effective worker (or at most one task) everything runs in
-    the calling process — no pool spin-up cost for the common case.
+    Falls back to serial execution — no pool spin-up, no pickling —
+    whenever a pool cannot win: one effective worker or at most one
+    task, a single-core machine (workers would time-slice one CPU and
+    pay IPC on top, measured as a 0.95× "speedup"), or a task list
+    shorter than the worker count (the pool's fixed cost is amortised
+    over too few sessions).  Results are bit-identical either way; only
+    wall clock changes.
     """
     tasks = list(tasks)
-    workers = min(resolve_jobs(jobs), len(tasks))
-    if workers <= 1:
+    workers = resolve_jobs(jobs)
+    serial = (
+        workers <= 1
+        or len(tasks) <= 1
+        or (os.cpu_count() or 1) == 1
+        or len(tasks) < workers
+    )
+    if serial:
         return [task.run() for task in tasks]
     with ProcessPoolExecutor(max_workers=workers) as pool:
         # Chunked map: preserves order, amortises pickling overhead.

@@ -1,16 +1,29 @@
 """The performance microbenchmark behind ``repro360 perf``.
 
-Times three things and writes them to ``BENCH_perf.json`` so the perf
-trajectory of the simulator is tracked from PR to PR:
+Two families of measurements, written to ``BENCH_perf.json`` so the
+perf trajectory of the simulator is tracked from PR to PR:
 
-1. one 30 s cellular POI360 session (the single-process hot path);
-2. the Fig. 11-14 micro-grid run serially;
-3. the same micro-grid fanned across worker processes.
+1. **Session legs** — one 30 s cellular POI360 session (the
+   single-process hot path), the Fig. 11-14 micro-grid serially, and
+   the same grid fanned across worker processes.
+2. **Named kernel microbenchmarks** — each times a vectorised hot-path
+   kernel against its scalar reference implementation in the same
+   process, so the recorded ``speedup`` is a machine-portable ratio:
 
-Caches (both layers) are bypassed while measuring — every leg really
-simulates.  The grid legs use short sessions so the whole bench stays
-under a couple of minutes on a laptop; the *ratio* between legs is the
-tracked signal, not the absolute numbers.
+   - ``matrix_build``   — cached/rolled Eq. (1) mode matrices vs a
+     fresh ``build_mode_matrix_reference`` build per ROI move;
+   - ``roi_quality``    — the receiver's array ROI-region PSNR vs the
+     per-tile scalar loop (``REPRO_REFERENCE_KERNELS`` path);
+   - ``encoder_alloc``  — steady-state ``FrameEncoder.encode`` with the
+     per-matrix caches vs a ``reference=True`` encoder;
+   - ``full_session``   — the 30 s single-session leg (absolute time,
+     plus the ratio against the pre-optimisation seed baseline).
+
+Caches that could fake the numbers are bypassed while measuring — the
+session legs really simulate, and the kernel legs clear the mode-matrix
+cache before their cold start.  The *ratios* are the tracked signal,
+not the absolute wall-clock numbers; ``tools/check_perf.py`` compares a
+fresh record against the committed one and fails on regression.
 """
 
 from __future__ import annotations
@@ -20,6 +33,8 @@ import os
 import platform
 import time
 from typing import Optional
+
+import numpy as np
 
 from repro.experiments import cache as result_cache
 from repro.experiments.microbench import NETWORKS, SCHEMES
@@ -37,6 +52,15 @@ SEED_BASELINE = {
     "note": "best of 5: 30 s cellular/poi360/gcc session (10 s warm-up) "
     "before hot-path batching",
 }
+
+
+def _best_of(repeats: int, fn, *args) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn(*args)
+        best = min(best, time.perf_counter() - start)
+    return best
 
 
 def _time_single_session(duration: float, warmup: float) -> float:
@@ -57,6 +81,123 @@ def _time_grid(settings: ExperimentSettings, jobs: int) -> float:
     return elapsed
 
 
+# ----------------------------------------------------------------------
+# Named kernel microbenchmarks
+# ----------------------------------------------------------------------
+
+
+def _bench_entry(vectorized_s: float, reference_s: float, iterations: int) -> dict:
+    return {
+        "iterations": iterations,
+        "vectorized_s": round(vectorized_s, 5),
+        "reference_s": round(reference_s, 5),
+        "speedup": round(reference_s / vectorized_s, 3) if vectorized_s > 0 else None,
+    }
+
+
+def bench_matrix_build(iterations: int = 4000, repeats: int = 3) -> dict:
+    """Mode-matrix builds across a rotating ROI: cache+roll vs fresh."""
+    from repro.compression.matrix import (
+        build_mode_matrix,
+        build_mode_matrix_reference,
+        clear_matrix_cache,
+    )
+    from repro.config import VideoConfig
+    from repro.video.frame import TileGrid
+
+    video = VideoConfig()
+    grid = TileGrid(video.width, video.height, video.tiles_x, video.tiles_y)
+    rois = [(k % grid.tiles_x, (k // grid.tiles_x) % grid.tiles_y) for k in range(iterations)]
+    cs = (1.8, 1.5, 1.1)
+
+    def cached() -> None:
+        for k, roi in enumerate(rois):
+            build_mode_matrix(grid, roi, cs[k % 3], (1, 1))
+
+    def reference() -> None:
+        for k, roi in enumerate(rois):
+            build_mode_matrix_reference(grid, roi, cs[k % 3], (1, 1))
+
+    clear_matrix_cache()
+    vectorized = _best_of(repeats, cached)
+    reference_s = _best_of(repeats, reference)
+    return _bench_entry(vectorized, reference_s, iterations)
+
+
+def bench_roi_quality(iterations: int = 2000, repeats: int = 3) -> dict:
+    """The receiver's per-frame ROI-region PSNR: array kernel vs the
+    scalar per-tile reference loop."""
+    from repro.compression.matrix import build_mode_matrix
+    from repro.sim.rng import RngRegistry
+    from repro.telephony.receiver import roi_region_psnr
+    from repro.video import quality
+    from repro.video.content import ContentModel
+    from repro.video.frame import TileGrid
+    from repro.config import VideoConfig
+
+    video = VideoConfig()
+    grid = TileGrid(video.width, video.height, video.tiles_x, video.tiles_y)
+    content = ContentModel(grid, RngRegistry(seed=7).stream("content"))
+    matrix = build_mode_matrix(grid, (5, 4), 1.5, (1, 1))
+    half = video.roi_measure_halfwidth
+    span = np.arange(-half, half + 1)
+    dx, dy = np.repeat(span, len(span)), np.tile(span, len(span))
+    j = 4 + dy
+    valid = (j >= 0) & (j < grid.tiles_y)
+    i, j = (5 + dx[valid]) % grid.tiles_x, j[valid]
+
+    def run() -> None:
+        for k in range(iterations):
+            roi_region_psnr(
+                i, j, matrix, 0.08, 0.033 * k, video, content, None
+            )
+
+    vectorized = _best_of(repeats, run)
+    previous = quality.set_reference_kernels(True)
+    try:
+        reference_s = _best_of(repeats, run)
+    finally:
+        quality.set_reference_kernels(previous)
+    return _bench_entry(vectorized, reference_s, iterations)
+
+
+def bench_encoder_alloc(iterations: int = 3000, repeats: int = 3) -> dict:
+    """Steady-state frame encoding (bit allocation + intra accounting):
+    per-matrix caches vs the uncached reference encoder."""
+    from repro.compression.matrix import build_mode_matrix
+    from repro.sim.rng import RngRegistry
+    from repro.video.content import ContentModel
+    from repro.video.encoder import FrameEncoder
+    from repro.video.frame import TileGrid
+    from repro.config import VideoConfig
+
+    video = VideoConfig()
+    grid = TileGrid(video.width, video.height, video.tiles_x, video.tiles_y)
+    matrix = build_mode_matrix(grid, (5, 4), 1.5, (1, 1))
+
+    def run(reference: bool) -> None:
+        registry = RngRegistry(seed=11)
+        content = ContentModel(grid, registry.stream("content"))
+        encoder = FrameEncoder(
+            video, grid, content, registry.stream("encoder"), reference=reference
+        )
+        for k in range(iterations):
+            encoder.encode(matrix, (5, 4), 2.5e6, 0.033 * k)
+
+    vectorized = _best_of(repeats, run, False)
+    reference_s = _best_of(repeats, run, True)
+    return _bench_entry(vectorized, reference_s, iterations)
+
+
+def run_kernel_benches() -> dict:
+    """All named kernel microbenchmarks, keyed by name."""
+    return {
+        "matrix_build": bench_matrix_build(),
+        "roi_quality": bench_roi_quality(),
+        "encoder_alloc": bench_encoder_alloc(),
+    }
+
+
 def run_perf_bench(
     duration: float = 30.0,
     warmup: float = 10.0,
@@ -70,6 +211,7 @@ def run_perf_bench(
     )
     result_cache.set_cache_enabled(False)
     try:
+        kernels = run_kernel_benches()
         single = min(_time_single_session(duration, warmup) for _ in range(3))
         serial = _time_grid(settings, jobs=1)
         parallel = _time_grid(settings, jobs=workers)
@@ -86,6 +228,7 @@ def run_perf_bench(
         "parallel_jobs": workers,
         "micro_grid_parallel_s": round(parallel, 4),
         "parallel_speedup": round(serial / parallel, 3) if parallel > 0 else None,
+        "kernels": kernels,
         "seed_baseline": SEED_BASELINE,
         "single_session_vs_seed": round(
             SEED_BASELINE["single_session_s"] / single, 3

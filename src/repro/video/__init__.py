@@ -6,11 +6,19 @@ from repro.video.encoder import FrameEncoder
 from repro.video.quality import (
     MOS_BANDS,
     combine_psnr_mse,
+    displayed_tile_psnr,
+    displayed_tile_psnr_array,
     mos_band,
     mse_from_psnr,
+    mse_from_psnr_array,
     psnr_from_bpp,
+    psnr_from_bpp_array,
     psnr_from_mse,
+    psnr_from_mse_array,
+    reference_kernels,
     scale_psnr,
+    scale_psnr_array,
+    set_reference_kernels,
 )
 
 __all__ = [
@@ -20,9 +28,17 @@ __all__ = [
     "FrameEncoder",
     "MOS_BANDS",
     "combine_psnr_mse",
+    "displayed_tile_psnr",
+    "displayed_tile_psnr_array",
     "mos_band",
     "mse_from_psnr",
+    "mse_from_psnr_array",
     "psnr_from_bpp",
+    "psnr_from_bpp_array",
     "psnr_from_mse",
+    "psnr_from_mse_array",
+    "reference_kernels",
     "scale_psnr",
+    "scale_psnr_array",
+    "set_reference_kernels",
 ]

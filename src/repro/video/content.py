@@ -13,6 +13,7 @@ import math
 
 import numpy as np
 
+import repro.video.quality as quality
 from repro.video.frame import TileGrid
 
 #: Spread of per-tile base complexity (lognormal sigma).
@@ -21,6 +22,8 @@ BASE_SIGMA = 0.25
 #: Amplitude and period of the travelling activity wave.
 WAVE_AMPLITUDE = 0.20
 WAVE_PERIOD = 25.0
+
+_TWO_PI = 2.0 * math.pi
 
 
 class ContentModel:
@@ -31,22 +34,57 @@ class ContentModel:
         base = np.exp(rng.normal(0.0, BASE_SIGMA, size=(grid.tiles_x, grid.tiles_y)))
         self._base = base / base.mean()
         self._phase = rng.uniform(0.0, 2.0 * math.pi)
+        #: Row means of the base field — ``mean_complexity`` only needs
+        #: the per-column aggregate because the wave is constant in j.
+        self._base_row_mean = self._base.mean(axis=1)
+        #: Precomputed ``i / tiles_x`` spatial phase of the wave.
+        self._i_frac = np.arange(grid.tiles_x) / grid.tiles_x
 
     def complexity(self, i: int, j: int, t: float) -> float:
-        """Complexity of tile (i, j) at time ``t``."""
-        wave = 1.0 + WAVE_AMPLITUDE * math.sin(
-            2.0 * math.pi * (t / WAVE_PERIOD + i / self._grid.tiles_x) + self._phase
+        """Complexity of tile (i, j) at time ``t``.
+
+        The wave term goes through the ``np.sin`` ufunc (not
+        ``math.sin``) so the scalar value is bit-identical to one
+        element of :meth:`complexity_tiles`.
+        """
+        wave = 1.0 + WAVE_AMPLITUDE * float(
+            np.sin(_TWO_PI * (t / WAVE_PERIOD + i / self._grid.tiles_x) + self._phase)
         )
         return float(self._base[i, j] * wave)
+
+    def complexity_tiles(self, i: np.ndarray, j: np.ndarray, t: float) -> np.ndarray:
+        """Complexity of the tiles ``(i[k], j[k])`` at time ``t``.
+
+        The vectorised twin of :meth:`complexity` — bit-identical
+        element-wise, and the per-frame gather the receiver's ROI
+        quality kernel runs on.
+        """
+        i = np.asarray(i)
+        if quality.reference_kernels():
+            return np.array(
+                [self.complexity(int(a), int(b), t) for a, b in zip(i, np.asarray(j))]
+            )
+        wave = 1.0 + WAVE_AMPLITUDE * np.sin(
+            _TWO_PI * (t / WAVE_PERIOD + i / self._grid.tiles_x) + self._phase
+        )
+        return self._base[i, j] * wave
 
     def complexity_map(self, t: float) -> np.ndarray:
         """Complexity of every tile at time ``t`` (tiles_x × tiles_y)."""
         i = np.arange(self._grid.tiles_x)[:, None]
         wave = 1.0 + WAVE_AMPLITUDE * np.sin(
-            2.0 * math.pi * (t / WAVE_PERIOD + i / self._grid.tiles_x) + self._phase
+            _TWO_PI * (t / WAVE_PERIOD + i / self._grid.tiles_x) + self._phase
         )
         return self._base * wave
 
     def mean_complexity(self, t: float) -> float:
-        """Frame-average complexity at time ``t``."""
-        return float(self.complexity_map(t).mean())
+        """Frame-average complexity at time ``t``.
+
+        Uses the precomputed base row means: the wave only varies along
+        i, so the full-map reduction collapses to ``tiles_x`` terms and
+        one dot product — the encoder calls this every frame.
+        """
+        wave = 1.0 + WAVE_AMPLITUDE * np.sin(
+            _TWO_PI * (t / WAVE_PERIOD + self._i_frac) + self._phase
+        )
+        return float(self._base_row_mean @ wave) / self._grid.tiles_x

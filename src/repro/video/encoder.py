@@ -29,12 +29,16 @@ from repro.video.quality import anchor_bpp
 class FrameEncoder:
     """Produces :class:`EncodedFrame` records from compression matrices."""
 
+    #: Per-matrix aggregate memo entries kept (FIFO eviction).
+    MATRIX_MEMO_MAX = 256
+
     def __init__(
         self,
         config: VideoConfig,
         grid: TileGrid,
         content: ContentModel,
         rng: np.random.Generator,
+        reference: bool = False,
     ):
         self._config = config
         self._grid = grid
@@ -46,6 +50,15 @@ class FrameEncoder:
         #: rate control works off so long-run output tracks the target).
         self._debt_bits = 0.0
         self._previous_matrix: np.ndarray = np.array([])
+        #: ``reference=True`` disables the per-matrix caches below — the
+        #: "before" leg of the ``encoder_alloc`` microbenchmark.
+        self._reference = reference
+        #: ``id(matrix) -> (matrix, compressed pixels)`` for the
+        #: read-only matrices the compression schemes share across
+        #: frames.  Identity-keyed with a strong reference (same pattern
+        #: as the R-D config memo), so a hit returns exactly the value
+        #: computed from that array — bit-identical to recomputing.
+        self._pixels_memo: dict = {}
         #: Bits per pixel the encoder can usefully spend: the quality
         #: saturation point times the min-quantiser waste factor.
         self._bpp_ceiling = config.bits_ceiling_factor * anchor_bpp(config) * 2.0 ** (
@@ -53,8 +66,21 @@ class FrameEncoder:
         )
 
     def compressed_pixels(self, matrix: np.ndarray) -> float:
-        """Pixels in the frame after spatial compression by ``matrix``."""
-        return float((self._grid.tile_pixels / matrix).sum())
+        """Pixels in the frame after spatial compression by ``matrix``.
+
+        Memoised by matrix identity for the shared read-only matrices
+        the mode-matrix cache hands out (a writable matrix may be
+        mutated in place, so it is never cached).
+        """
+        entry = self._pixels_memo.get(id(matrix))
+        if entry is not None and entry[0] is matrix:
+            return entry[1]
+        value = float((self._grid.tile_pixels / matrix).sum())
+        if not self._reference and not matrix.flags.writeable:
+            while len(self._pixels_memo) >= self.MATRIX_MEMO_MAX:
+                self._pixels_memo.pop(next(iter(self._pixels_memo)))
+            self._pixels_memo[id(matrix)] = (matrix, value)
+        return value
 
     def floor_rate(self, matrix: np.ndarray) -> float:
         """Minimum sustainable bitrate (bps) for frames under ``matrix``.
@@ -79,6 +105,11 @@ class FrameEncoder:
         """
         if self._previous_matrix.shape != matrix.shape:
             return 1.0  # first frame: everything is intra
+        if matrix is self._previous_matrix and not self._reference:
+            # Shared cached matrix, unchanged since the last frame: every
+            # per-tile weight is |log2(1)| = 0, so the fraction is
+            # exactly 0.0 — the common steady-ROI case, skipped outright.
+            return 0.0
         weight = np.minimum(
             1.0, np.abs(np.log2(matrix / self._previous_matrix))
         )

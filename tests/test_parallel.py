@@ -94,3 +94,43 @@ def test_resolve_jobs_precedence(monkeypatch):
 def test_resolve_jobs_zero_means_all_cores(monkeypatch):
     monkeypatch.delenv("REPRO_JOBS", raising=False)
     assert resolve_jobs(0) == (os.cpu_count() or 1)
+
+
+def _tiny_task(seed):
+    return SessionTask(
+        scenario_name="cellular",
+        scheme="poi360",
+        transport="gcc",
+        duration=6.0,
+        warmup=3.0,
+        seed=seed,
+        profile_name="user2-typical",
+    )
+
+
+class _PoisonedPool:
+    """Fails the test if run_tasks spins up a pool on the serial path."""
+
+    def __init__(self, *args, **kwargs):
+        raise AssertionError("ProcessPoolExecutor must not be used here")
+
+
+def test_run_tasks_serial_fallback_on_single_core(monkeypatch):
+    monkeypatch.setattr(parallel.os, "cpu_count", lambda: 1)
+    monkeypatch.setattr(parallel, "ProcessPoolExecutor", _PoisonedPool)
+    results = run_tasks([_tiny_task(3), _tiny_task(5)], jobs=4)
+    assert len(results) == 2
+
+
+def test_run_tasks_serial_fallback_when_fewer_tasks_than_workers(monkeypatch):
+    monkeypatch.setattr(parallel, "ProcessPoolExecutor", _PoisonedPool)
+    results = run_tasks([_tiny_task(3), _tiny_task(5)], jobs=8)
+    assert len(results) == 2
+
+
+def test_run_tasks_serial_fallback_matches_pool_results(monkeypatch):
+    tasks = [_tiny_task(seed) for seed in (3, 5)]
+    pooled = run_tasks(tasks, jobs=2)
+    monkeypatch.setattr(parallel.os, "cpu_count", lambda: 1)
+    serial = run_tasks(tasks, jobs=2)
+    assert [_digest(r) for r in serial] == [_digest(r) for r in pooled]

@@ -1,0 +1,133 @@
+#!/usr/bin/env python3
+"""Compare a fresh perf record against the committed baseline.
+
+``repro360 perf`` writes a JSON record (``BENCH_perf.json``) whose
+tracked signal is a set of machine-portable *ratios*:
+
+- per-kernel ``speedup`` (vectorised vs scalar reference, measured in
+  the same process, on the same machine — see
+  ``src/repro/experiments/perf.py``), and
+- ``single_session_vs_seed`` (fresh single-session time vs the recorded
+  pre-optimisation seed baseline).
+
+This gate loads a fresh record and the committed one and fails when a
+tracked ratio regressed by more than ``--tolerance`` (default 30%)::
+
+    python tools/check_perf.py --fresh BENCH_perf_ci.json \
+        --baseline BENCH_perf.json
+
+Ratios are clamped to ``RATIO_CLAMP`` before comparison: a memoised
+kernel like ``matrix_build`` measures 30-70x depending on cache and CPU
+weather, and the difference between 35x and 67x is noise, not signal —
+what matters is that it never collapses back towards 1x.  Absolute
+wall-clock fields are reported for context but never gate (CI machines
+and dev laptops differ too much for absolute times to be comparable).
+
+Exits 0 when every tracked ratio holds, 1 on regression or a missing /
+malformed record.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: Speedups above this are treated as "this many or better" — past it,
+#: run-to-run variance dwarfs any real change.
+RATIO_CLAMP = 8.0
+
+#: Default allowed fractional regression before the gate fails.
+DEFAULT_TOLERANCE = 0.30
+
+
+def load_record(path: Path) -> dict:
+    with open(path) as handle:
+        return json.load(handle)
+
+
+def tracked_ratios(record: dict) -> dict:
+    """Extract the gated ratios from a perf record, keyed by name."""
+    ratios = {}
+    for name, entry in (record.get("kernels") or {}).items():
+        speedup = entry.get("speedup")
+        if speedup is not None:
+            ratios[f"kernels.{name}.speedup"] = float(speedup)
+    vs_seed = record.get("single_session_vs_seed")
+    if vs_seed is not None:
+        ratios["single_session_vs_seed"] = float(vs_seed)
+    return ratios
+
+
+def compare(fresh: dict, baseline: dict, tolerance: float = DEFAULT_TOLERANCE) -> list:
+    """Return a list of regression messages (empty = pass).
+
+    A ratio regresses when the clamped fresh value falls below the
+    clamped baseline value by more than ``tolerance``.  Ratios present
+    in the baseline but missing from the fresh record also fail — a
+    renamed or dropped kernel must update the committed baseline.
+    """
+    fresh_ratios = tracked_ratios(fresh)
+    baseline_ratios = tracked_ratios(baseline)
+    failures = []
+    for name, base_value in sorted(baseline_ratios.items()):
+        fresh_value = fresh_ratios.get(name)
+        if fresh_value is None:
+            failures.append(f"{name}: missing from fresh record (baseline {base_value})")
+            continue
+        base_clamped = min(base_value, RATIO_CLAMP)
+        fresh_clamped = min(fresh_value, RATIO_CLAMP)
+        floor = base_clamped * (1.0 - tolerance)
+        if fresh_clamped < floor:
+            failures.append(
+                f"{name}: {fresh_value} < floor {floor:.3f} "
+                f"(baseline {base_value}, tolerance {tolerance:.0%})"
+            )
+    return failures
+
+
+def report(fresh: dict, baseline: dict, failures: list) -> None:
+    fresh_ratios = tracked_ratios(fresh)
+    baseline_ratios = tracked_ratios(baseline)
+    print("perf gate: tracked ratios (fresh vs baseline)")
+    for name in sorted(set(fresh_ratios) | set(baseline_ratios)):
+        print(
+            f"  {name}: {fresh_ratios.get(name, 'missing')} "
+            f"(baseline {baseline_ratios.get(name, 'missing')})"
+        )
+    single = fresh.get("single_session_s")
+    if single is not None:
+        print(f"  [context] single_session_s: {single} (not gated)")
+    if failures:
+        print("FAIL:")
+        for message in failures:
+            print(f"  {message}")
+    else:
+        print("OK: no tracked ratio regressed")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--fresh", required=True, type=Path, help="freshly measured record")
+    parser.add_argument("--baseline", required=True, type=Path, help="committed baseline record")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=DEFAULT_TOLERANCE,
+        help="allowed fractional regression (default 0.30)",
+    )
+    args = parser.parse_args(argv)
+    try:
+        fresh = load_record(args.fresh)
+        baseline = load_record(args.baseline)
+    except (OSError, json.JSONDecodeError) as error:
+        print(f"perf gate: cannot load record: {error}")
+        return 1
+    failures = compare(fresh, baseline, args.tolerance)
+    report(fresh, baseline, failures)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
