@@ -34,7 +34,18 @@ from repro.config import (
     WirelineConfig,
 )
 from repro.metrics.summary import SessionLog, SessionSummary
-from repro.obs import EVENT_CATALOGUE, NULL_BUS, TraceBus, TraceEvent
+from repro.obs import (
+    EVENT_CATALOGUE,
+    METRIC_CATALOGUE,
+    NULL_BUS,
+    NULL_METER,
+    SPAN_CATALOGUE,
+    MetricsRegistry,
+    SessionMeter,
+    SpanProfiler,
+    TraceBus,
+    TraceEvent,
+)
 from repro.roi.users import USER_PROFILES, UserProfile, profile_by_name
 from repro.telephony.session import SessionResult, TelephonySession, run_session
 
@@ -60,7 +71,13 @@ __all__ = [
     "SessionSummary",
     "SessionResult",
     "EVENT_CATALOGUE",
+    "METRIC_CATALOGUE",
+    "SPAN_CATALOGUE",
     "NULL_BUS",
+    "NULL_METER",
+    "MetricsRegistry",
+    "SessionMeter",
+    "SpanProfiler",
     "TraceBus",
     "TraceEvent",
     "TelephonySession",

@@ -7,6 +7,10 @@ Subcommands:
 - ``trace``     one session with structured event tracing enabled —
                 dumps/filters the ``repro.obs`` trace (JSONL by
                 default; see docs/OBSERVABILITY.md);
+- ``metrics``   a metered sweep of sessions — merges per-session
+                registries into one fleet registry and prints a summary
+                table, histogram sketches and span timings (or exports
+                OpenMetrics / JSON with ``--format``);
 - ``sweep``     every (scheme, transport) combination on one scenario;
 - ``scenarios`` list the named scenarios;
 - ``report``    the full paper-vs-measured report (delegates to
@@ -141,6 +145,84 @@ def cmd_trace(args) -> int:
     return 0
 
 
+def cmd_metrics(args) -> int:
+    from repro.experiments import cache
+    from repro.experiments.parallel import SessionTask, merged_meter, resolve_jobs, run_tasks
+    from repro.obs.metrics import METRIC_CATALOGUE
+
+    if args.transport == "fbcc" and args.scenario == "wireline":
+        print("error: FBCC needs the LTE diagnostic interface", file=sys.stderr)
+        return 2
+    tasks = [
+        SessionTask(
+            scenario_name=args.scenario,
+            scheme=args.scheme,
+            transport=args.transport,
+            duration=args.duration,
+            warmup=args.warmup,
+            seed=args.seed + index,
+            profile_name=args.profile,
+            meter=True,
+        )
+        for index in range(args.sessions)
+    ]
+    workers = resolve_jobs(args.jobs)
+
+    def _progress(done: int, total: int, _result) -> None:
+        print(f"  session {done}/{total} done", file=sys.stderr)
+
+    results = run_tasks(
+        tasks, jobs=args.jobs, progress=_progress if args.progress else None
+    )
+    fleet = merged_meter(results, workers=workers, cache_counters=cache.counters())
+
+    handle = open(args.output, "w") if args.output else sys.stdout
+    try:
+        if args.format == "openmetrics":
+            handle.write(export.metrics_to_openmetrics(fleet))
+        elif args.format == "json":
+            handle.write(json.dumps(export.metrics_to_dict(fleet), indent=1) + "\n")
+        else:  # summary
+            handle.write(f"sessions={args.sessions} workers={workers}\n")
+            handle.write("counters\n")
+            for subsystem, names in sorted(
+                fleet.metrics.counters_by_subsystem().items()
+            ):
+                handle.write(f"  {subsystem}\n")
+                for name, value in names.items():
+                    handle.write(f"    {name:<28} {value:g}\n")
+            if fleet.metrics.gauges:
+                handle.write("gauges\n")
+                for name, value in sorted(fleet.metrics.gauges.items()):
+                    handle.write(f"  {name:<30} {value:g}\n")
+            for name, hist in sorted(fleet.metrics.histograms().items()):
+                unit = METRIC_CATALOGUE[name].unit if name in METRIC_CATALOGUE else ""
+                unit_txt = f" ({unit})" if unit else ""
+                handle.write(
+                    f"{name}{unit_txt}: count={hist.count} "
+                    f"mean={hist.sum / hist.count if hist.count else 0.0:.3g}\n"
+                )
+                labels = [f"<={bound:g}" for bound in hist.buckets] + ["+Inf"]
+                handle.write(bar_chart(labels, [float(c) for c in hist.counts]))
+                handle.write("\n")
+            spans = fleet.spans.as_dict()
+            if spans:
+                handle.write("spans (wall clock)\n")
+                for name, stats in spans.items():
+                    handle.write(
+                        f"  {name:<22} count={stats['count']:<8} "
+                        f"mean={stats['mean_s'] * 1e3:8.3f} ms  "
+                        f"max={stats['max_s'] * 1e3:8.3f} ms  "
+                        f"total={stats['total_s']:.3f} s\n"
+                    )
+    finally:
+        if handle is not sys.stdout:
+            handle.close()
+    if args.output:
+        print(f"metrics written to {args.output}", file=sys.stderr)
+    return 0
+
+
 def cmd_sweep(args) -> int:
     rows = []
     for scheme in SCHEMES:
@@ -200,6 +282,10 @@ def cmd_cache(args) -> int:
     print(f"current entries {info['current_entries']}")
     print(f"stale entries   {info['stale_entries']}")
     print(f"total size      {info['total_bytes'] / 1e6:.2f} MB")
+    print(f"entry hits      {info['entry_hits']}")
+    print(f"entry misses    {info['entry_misses']}")
+    print(f"session hits    {info['session_hits']}")
+    print(f"sessions stored {info['sessions_stored']}")
     return 0
 
 
@@ -286,6 +372,46 @@ def build_parser() -> argparse.ArgumentParser:
         help="trace ring size in events (default: repro.obs.DEFAULT_CAPACITY)",
     )
     trace_parser.set_defaults(func=cmd_trace)
+
+    metrics_parser = sub.add_parser(
+        "metrics", help="metered sweep: fleet metrics registry + span timings"
+    )
+    metrics_parser.add_argument(
+        "--scenario", default="cellular", choices=sorted(SCENARIOS)
+    )
+    metrics_parser.add_argument("--duration", type=float, default=30.0)
+    metrics_parser.add_argument("--warmup", type=float, default=0.0)
+    metrics_parser.add_argument("--seed", type=int, default=1)
+    metrics_parser.add_argument("--scheme", default="poi360", choices=SCHEMES)
+    metrics_parser.add_argument("--transport", default="fbcc", choices=TRANSPORTS)
+    metrics_parser.add_argument(
+        "--profile",
+        default="user2-typical",
+        help="user profile applied to every session (see repro.roi.users)",
+    )
+    metrics_parser.add_argument(
+        "--sessions",
+        type=int,
+        default=1,
+        help="number of sessions to run (seeds seed..seed+N-1)",
+    )
+    metrics_parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes for the sweep (0 = all cores; "
+        "default: REPRO_JOBS or serial)",
+    )
+    metrics_parser.add_argument(
+        "--format", choices=("summary", "openmetrics", "json"), default="summary"
+    )
+    metrics_parser.add_argument("--output", metavar="FILE", default=None)
+    metrics_parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="print per-session completion lines to stderr",
+    )
+    metrics_parser.set_defaults(func=cmd_metrics)
 
     sweep_parser = sub.add_parser("sweep", help="all scheme/transport combos")
     _add_session_args(sweep_parser)

@@ -21,20 +21,25 @@ __all__ = [
 ]
 
 
-def make_scheme(name, config, grid, viewer, trace=None):
+def make_scheme(name, config, grid, viewer, trace=None, meter=None):
     """Factory mapping a scheme name to its implementation.
 
     Parameters mirror what every scheme needs: the
     :class:`repro.config.CompressionConfig`, the tile grid, and the
     viewer config (for FoV-sized regions).  ``trace`` is an optional
-    :class:`repro.obs.TraceBus`; only the adaptive scheme emits
-    (``mode_switch`` / ``mode.mismatch``).
+    :class:`repro.obs.TraceBus` and ``meter`` an optional
+    :class:`repro.obs.SessionMeter`; only the adaptive scheme emits
+    (``mode_switch`` / ``mode.mismatch`` events,
+    ``compression.*`` metrics).
     """
     from repro.obs.bus import NULL_BUS
+    from repro.obs.meter import NULL_METER
 
     name = name.lower()
     if name == "poi360":
-        return AdaptiveCompression(config, grid, trace=trace or NULL_BUS)
+        return AdaptiveCompression(
+            config, grid, trace=trace or NULL_BUS, meter=meter or NULL_METER
+        )
     if name == "conduit":
         return ConduitCompression(config, grid, viewer)
     if name == "pyramid":

@@ -29,6 +29,7 @@ from repro.compression.base import CompressionScheme
 from repro.compression.modes import Mode, ModeFamily
 from repro.config import CompressionConfig
 from repro.obs.bus import NULL_BUS
+from repro.obs.meter import NULL_METER
 from repro.video.frame import TileGrid
 
 
@@ -45,10 +46,13 @@ class AdaptiveCompression(CompressionScheme):
     #: this fraction of the target rate.
     RATE_FIT_MARGIN = 0.85
 
-    def __init__(self, config: CompressionConfig, grid: TileGrid, trace=NULL_BUS):
+    def __init__(
+        self, config: CompressionConfig, grid: TileGrid, trace=NULL_BUS, meter=NULL_METER
+    ):
         self._config = config
         self._grid = grid
         self._trace = trace
+        self._meter = meter
         self._family = ModeFamily(config)
         #: Start conservative until the first M feedback arrives.
         self._desired_index = len(self._family)
@@ -82,6 +86,8 @@ class AdaptiveCompression(CompressionScheme):
                     desired_index=self._desired_index,
                     cap_index=self._cap_index,
                 )
+            if self._meter:
+                self._meter.inc("compression.mode_switches")
             self._last_effective = effective
 
     def update_mismatch(self, mismatch_s: float) -> None:
@@ -102,6 +108,8 @@ class AdaptiveCompression(CompressionScheme):
         self._desired_index = target
         if self._trace:
             self._trace.emit("mode.mismatch", m_s=mismatch_s, desired_index=target)
+        if self._meter:
+            self._meter.observe("compression.desired_index", target)
         self._note_switch()
 
     def fit_to_rate(self, rate_bps: float, floor_rate) -> None:

@@ -28,14 +28,19 @@ from __future__ import annotations
 
 import dataclasses
 import hashlib
+import json
 import os
 import pickle
 import shutil
 import tempfile
 from pathlib import Path
-from typing import Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional
 
 from repro.telephony.session import SessionResult
+
+#: Counter names tracked by the cache; they mirror the ``cache.*``
+#: metrics of :data:`repro.obs.METRIC_CATALOGUE`.
+COUNTER_NAMES = ("entry_hits", "entry_misses", "session_hits", "sessions_stored")
 
 #: Overridden by :func:`set_cache_dir`; None = resolve from environment.
 _CACHE_DIR: Optional[Path] = None
@@ -46,6 +51,11 @@ _ENABLED: Optional[bool] = None
 #: Computed lazily, once per process (the source tree does not change
 #: under a running experiment).
 _CODE_SALT: Optional[str] = None
+
+#: Process-level hit/miss counters (this run); a persistent mirror in
+#: ``<cache_dir>/counters.json`` accumulates across processes so
+#: ``repro360 cache stats`` can report lifetime effectiveness.
+_COUNTERS: Dict[str, int] = {name: 0 for name in COUNTER_NAMES}
 
 
 def set_cache_dir(path: Optional[os.PathLike]) -> None:
@@ -113,6 +123,71 @@ def _entry_path(key: str) -> Path:
     return cache_dir() / code_salt() / f"{key}.pkl"
 
 
+def _counters_path() -> Path:
+    return cache_dir() / "counters.json"
+
+
+def _bump(**deltas: int) -> None:
+    """Add to the process counters and the persistent mirror (best effort)."""
+    for name, delta in deltas.items():
+        _COUNTERS[name] += delta
+    path = _counters_path()
+    try:
+        totals = {name: 0 for name in COUNTER_NAMES}
+        try:
+            stored = json.loads(path.read_text())
+            for name in COUNTER_NAMES:
+                totals[name] = int(stored.get(name, 0))
+        except (OSError, ValueError):
+            pass
+        for name, delta in deltas.items():
+            totals[name] += delta
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(totals, handle)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+    except OSError:
+        # Counter persistence must never break an experiment.
+        pass
+
+
+def counters() -> Dict[str, int]:
+    """This process's cache hit/miss counters (a copy).
+
+    Keys mirror the ``cache.*`` metric names: ``entry_hits`` /
+    ``entry_misses`` count :func:`load` outcomes, ``session_hits``
+    counts the sessions those hits returned, and ``sessions_stored``
+    counts sessions persisted by :func:`store`.
+    """
+    return dict(_COUNTERS)
+
+
+def persistent_counters() -> Dict[str, int]:
+    """Lifetime counters accumulated in ``<cache_dir>/counters.json``."""
+    totals = {name: 0 for name in COUNTER_NAMES}
+    try:
+        stored = json.loads(_counters_path().read_text())
+        for name in COUNTER_NAMES:
+            totals[name] = int(stored.get(name, 0))
+    except (OSError, ValueError):
+        pass
+    return totals
+
+
+def reset_counters() -> None:
+    """Zero the process counters (tests; the mirror is left alone)."""
+    for name in COUNTER_NAMES:
+        _COUNTERS[name] = 0
+
+
 def load(key: str) -> Optional[List[SessionResult]]:
     """Fetch a condition's sessions from disk, or None on miss."""
     if not cache_enabled():
@@ -120,17 +195,21 @@ def load(key: str) -> Optional[List[SessionResult]]:
     path = _entry_path(key)
     try:
         with open(path, "rb") as handle:
-            return pickle.load(handle)
+            results = pickle.load(handle)
     except (OSError, pickle.UnpicklingError, EOFError, AttributeError, ImportError):
         # Missing, torn, or written by an incompatible code version
         # whose salt happened to collide — treat all as a miss.
+        _bump(entry_misses=1)
         return None
+    _bump(entry_hits=1, session_hits=len(results))
+    return results
 
 
 def store(key: str, results: List[SessionResult]) -> None:
     """Persist a condition's sessions (atomic write; best effort)."""
     if not cache_enabled():
         return
+    _bump(sessions_stored=len(results))
     path = _entry_path(key)
     try:
         path.parent.mkdir(parents=True, exist_ok=True)
@@ -164,12 +243,17 @@ def stats() -> dict:
                 current_entries += 1
             else:
                 stale_entries += 1
+    lifetime = persistent_counters()
     return {
         "path": str(root),
         "code_salt": salt,
         "current_entries": current_entries,
         "stale_entries": stale_entries,
         "total_bytes": total_bytes,
+        "entry_hits": lifetime["entry_hits"],
+        "entry_misses": lifetime["entry_misses"],
+        "session_hits": lifetime["session_hits"],
+        "sessions_stored": lifetime["sessions_stored"],
     }
 
 
@@ -187,4 +271,8 @@ def clear() -> int:
         for child in root.iterdir():
             if child.is_dir():
                 shutil.rmtree(child, ignore_errors=True)
+        try:
+            _counters_path().unlink()
+        except OSError:
+            pass
     return removed

@@ -25,9 +25,14 @@ from __future__ import annotations
 import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence
 
+from repro.obs.meter import SessionMeter
 from repro.telephony.session import SessionResult
+
+#: Signature of the ``run_tasks`` progress callback:
+#: ``progress(done, total, result)`` after each finished session.
+ProgressCallback = Callable[[int, int, SessionResult], None]
 
 #: Process-wide default set by ``set_default_jobs`` (e.g. from --jobs).
 _DEFAULT_JOBS: Optional[int] = None
@@ -73,6 +78,10 @@ class SessionTask:
     warmup: float
     seed: int
     profile_name: str
+    #: Attach a per-session :class:`repro.obs.SessionMeter`; its registry
+    #: comes back on ``SessionResult.meter`` and merges into the fleet
+    #: view via :func:`merged_meter`.
+    meter: bool = False
 
     def run(self) -> SessionResult:
         """Build the session config and run it (current process)."""
@@ -87,7 +96,9 @@ class SessionTask:
             duration=self.duration,
             seed=self.seed,
         )
-        session = TelephonySession(config, profile=profile_by_name(self.profile_name))
+        session = TelephonySession(
+            config, profile=profile_by_name(self.profile_name), meter=self.meter
+        )
         return session.run(self.duration, warmup=self.warmup)
 
 
@@ -95,7 +106,11 @@ def _run_task(task: SessionTask) -> SessionResult:
     return task.run()
 
 
-def run_tasks(tasks: Sequence[SessionTask], jobs: Optional[int] = None) -> List[SessionResult]:
+def run_tasks(
+    tasks: Sequence[SessionTask],
+    jobs: Optional[int] = None,
+    progress: Optional[ProgressCallback] = None,
+) -> List[SessionResult]:
     """Run tasks, fanning across processes; results are in task order.
 
     Falls back to serial execution — no pool spin-up, no pickling —
@@ -105,6 +120,10 @@ def run_tasks(tasks: Sequence[SessionTask], jobs: Optional[int] = None) -> List[
     shorter than the worker count (the pool's fixed cost is amortised
     over too few sessions).  Results are bit-identical either way; only
     wall clock changes.
+
+    ``progress`` is invoked as ``progress(done, total, result)`` after
+    every finished session, in task order, from the calling process —
+    long sweeps can report per-worker health without touching results.
     """
     tasks = list(tasks)
     workers = resolve_jobs(jobs)
@@ -114,9 +133,65 @@ def run_tasks(tasks: Sequence[SessionTask], jobs: Optional[int] = None) -> List[
         or (os.cpu_count() or 1) == 1
         or len(tasks) < workers
     )
+    total = len(tasks)
+    results: List[SessionResult] = []
     if serial:
-        return [task.run() for task in tasks]
+        for task in tasks:
+            result = task.run()
+            results.append(result)
+            if progress is not None:
+                progress(len(results), total, result)
+        return results
     with ProcessPoolExecutor(max_workers=workers) as pool:
         # Chunked map: preserves order, amortises pickling overhead.
         chunksize = max(1, len(tasks) // (workers * 4))
-        return list(pool.map(_run_task, tasks, chunksize=chunksize))
+        for result in pool.map(_run_task, tasks, chunksize=chunksize):
+            results.append(result)
+            if progress is not None:
+                progress(len(results), total, result)
+    return results
+
+
+def merged_meter(
+    results: Sequence[SessionResult],
+    workers: int = 1,
+    cache_counters: Optional[dict] = None,
+) -> SessionMeter:
+    """Fold per-session meters into one fleet-level registry.
+
+    Counters and histogram buckets sum elementwise, spans accumulate, so
+    the merged view of a parallel sweep equals the serial one exactly
+    (merge order is task order, and every operation is commutative
+    addition).  On top of the per-session metrics the fleet meter carries:
+
+    - ``fleet.sessions`` — sessions that contributed a meter,
+    - ``fleet.workers`` — the worker count used for the sweep,
+    - ``fleet.straggler_s`` / ``fleet.straggler_index`` — wall-clock of
+      the slowest session (its ``session.run`` span) and its task index,
+    - ``cache.*`` counters when a ``cache_counters`` snapshot from
+      :func:`repro.experiments.cache.counters` is supplied.
+    """
+    fleet = SessionMeter()
+    straggler_s = 0.0
+    straggler_index = -1
+    sessions = 0
+    for index, result in enumerate(results):
+        meter = getattr(result, "meter", None)
+        if meter is None:
+            continue
+        fleet.merge(meter)
+        sessions += 1
+        run_span = meter.spans.stats.get("session.run")
+        if run_span is not None and run_span.max_s > straggler_s:
+            straggler_s = run_span.max_s
+            straggler_index = index
+    fleet.inc("fleet.sessions", sessions)
+    fleet.set_gauge("fleet.workers", workers)
+    if straggler_index >= 0:
+        fleet.set_gauge("fleet.straggler_s", straggler_s)
+        fleet.set_gauge("fleet.straggler_index", straggler_index)
+    if cache_counters:
+        for name, value in cache_counters.items():
+            if value:
+                fleet.inc(f"cache.{name}", value)
+    return fleet

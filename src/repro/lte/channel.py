@@ -16,6 +16,7 @@ import numpy as np
 from repro.config import ChannelConfig
 from repro.lte.tbs import cqi_from_rss
 from repro.obs.bus import NULL_BUS
+from repro.obs.meter import NULL_METER
 from repro.sim.engine import Simulation
 
 
@@ -28,11 +29,13 @@ class ChannelProcess:
         config: ChannelConfig,
         rng: np.random.Generator,
         trace=NULL_BUS,
+        meter=NULL_METER,
     ):
         self._sim = sim
         self._config = config
         self._rng = rng
         self._trace = trace
+        self._meter = meter
         self._shadow_db = 0.0
         self._outage_until = -1.0
         self._fade_db = 0.0
@@ -78,6 +81,8 @@ class ChannelProcess:
         self._cqi = cqi_from_rss(self._config.rss_dbm + self._shadow_db - self._fade_db)
         if self._trace:
             self._trace.emit("lte.cqi", cqi=self._cqi, rss_dbm=self.rss_dbm)
+        if self._meter:
+            self._meter.observe("lte.cqi", self._cqi)
 
     @property
     def rss_dbm(self) -> float:

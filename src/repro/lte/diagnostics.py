@@ -20,6 +20,7 @@ from __future__ import annotations
 from typing import Callable, List, NamedTuple, Optional
 
 from repro.obs.bus import NULL_BUS
+from repro.obs.meter import NULL_METER
 
 
 class DiagRecord(NamedTuple):
@@ -41,12 +42,13 @@ IdleFiller = Callable[[float], None]
 class DiagMonitor:
     """Collects per-subframe records and delivers them in 40 ms batches."""
 
-    def __init__(self, sim, interval: float, trace=NULL_BUS):
+    def __init__(self, sim, interval: float, trace=NULL_BUS, meter=NULL_METER):
         self._sim = sim
         self._pending: List[DiagRecord] = []
         self._listeners: List[DiagListener] = []
         self._idle_filler: Optional[IdleFiller] = None
         self._trace = trace
+        self._meter = meter
         sim.every(interval, self._deliver)
 
     def subscribe(self, listener: DiagListener) -> None:
@@ -80,5 +82,7 @@ class DiagMonitor:
                 mean_level=sum(r.buffer_bytes for r in batch) / len(batch),
                 tbs_bytes=sum(r.tbs_bytes for r in batch),
             )
+        if self._meter:
+            self._meter.inc("lte.diag_batches")
         for listener in self._listeners:
             listener(batch)

@@ -30,6 +30,7 @@ from repro.lte.firmware_buffer import FirmwareBuffer
 from repro.lte.scheduler import EnbScheduler
 from repro.net.packet import Packet
 from repro.obs.bus import NULL_BUS
+from repro.obs.meter import NULL_METER
 from repro.sim.engine import Simulation
 from repro.units import LTE_SUBFRAME
 
@@ -47,15 +48,17 @@ class UeUplink:
         rng: np.random.Generator,
         sink: Optional[PacketSink] = None,
         trace=NULL_BUS,
+        meter=NULL_METER,
     ):
         self._sim = sim
         self._config = config
         self._trace = trace
-        self.channel = ChannelProcess(sim, config.channel, rng, trace=trace)
+        self._meter = meter
+        self.channel = ChannelProcess(sim, config.channel, rng, trace=trace, meter=meter)
         self.cell = make_cell_model(sim, config.cell, rng)
         self.scheduler = EnbScheduler(config, self.channel, self.cell, rng)
         self.buffer = FirmwareBuffer(config.firmware_buffer_cap)
-        self.diag = DiagMonitor(sim, config.diag_interval, trace=trace)
+        self.diag = DiagMonitor(sim, config.diag_interval, trace=trace, meter=meter)
         self._sink = sink
         #: Ring of recent buffer levels implementing the BSR delay.
         depth = max(1, int(round(config.bsr_delay / LTE_SUBFRAME)))
@@ -74,10 +77,13 @@ class UeUplink:
     def send(self, packet: Packet) -> bool:
         """Enqueue a paced RTP packet into the firmware buffer."""
         accepted = self.buffer.push(packet)
-        if not accepted and self._trace:
-            self._trace.emit(
-                "lte.drop", size_bytes=packet.size_bytes, level=self.buffer.level
-            )
+        if not accepted:
+            if self._trace:
+                self._trace.emit(
+                    "lte.drop", size_bytes=packet.size_bytes, level=self.buffer.level
+                )
+            if self._meter:
+                self._meter.inc("lte.drops")
         if self._tick.paused:
             self._fill_idle(self._sim.now)
             self._tick.wake()
@@ -99,6 +105,8 @@ class UeUplink:
         return self.buffer.level
 
     def _subframe(self) -> bool:
+        meter = self._meter
+        t0 = meter.span_start() if meter else 0.0
         buffer = self.buffer
         ring = self._bsr_ring
         reported = ring[0]
@@ -120,6 +128,9 @@ class UeUplink:
         self._record(level, tbs)
         if self._trace:
             self._trace.emit("fw_buffer", level=level, tbs=tbs)
+        if meter:
+            meter.inc("lte.subframes")
+            meter.span_end("lte.subframe", t0)
         # Keep ticking while any in-flight BSR slot or the buffer itself
         # is non-zero; otherwise pause until the next send() wakes us.
         return bool(level) or any(ring)

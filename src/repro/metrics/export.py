@@ -5,15 +5,21 @@ comparison (§5); these helpers do the same for simulated sessions so
 results can be analysed outside Python (spreadsheets, gnuplot, R) and
 archived alongside EXPERIMENTS.md.
 
-Two families live here:
+Three families live here:
 
 - the **per-frame log** exporters (``write_json`` / ``write_frames_csv``)
   over :class:`repro.metrics.summary.SessionLog`;
 - the **structured event trace** exporters
-  (``write_trace_jsonl`` / ``read_trace_jsonl`` / ``write_trace_csv``)
-  over a :class:`repro.obs.TraceBus` — one JSON object per line with
-  reserved keys ``t`` (simulated time) and ``event`` (catalogue name),
-  every other key an event field.  See docs/OBSERVABILITY.md.
+  (``write_trace_jsonl`` / ``read_trace_jsonl`` / ``write_trace_csv`` /
+  ``read_trace_csv``) over a :class:`repro.obs.TraceBus` — one JSON
+  object per line with reserved keys ``t`` (simulated time) and
+  ``event`` (catalogue name), every other key an event field;
+- the **metrics** exporters (``metrics_to_dict`` /
+  ``write_metrics_json`` / ``metrics_to_openmetrics`` /
+  ``write_metrics_openmetrics``) over a
+  :class:`repro.obs.SessionMeter` — JSON snapshots for tooling and the
+  OpenMetrics/Prometheus text exposition format for scrapers, validated
+  by ``tools/check_metrics.py``.  See docs/OBSERVABILITY.md.
 """
 
 from __future__ import annotations
@@ -25,6 +31,8 @@ from typing import IO, Iterable, Iterator, List, Optional, Union
 
 from repro.metrics.summary import SessionLog, SessionSummary
 from repro.obs.bus import TraceEvent
+from repro.obs.metrics import METRIC_CATALOGUE, MetricSpec
+from repro.obs.spans import SPAN_CATALOGUE
 
 PathLike = Union[str, Path]
 
@@ -196,6 +204,134 @@ def write_trace_csv(
         for row in rows:
             writer.writerow(row)
     return len(rows)
+
+
+def _coerce_cell(text: str):
+    """Undo CSV stringification: int if it parses, else float, else str."""
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        return text
+
+
+def read_trace_csv(path: PathLike) -> List[TraceEvent]:
+    """Load a :func:`write_trace_csv` file back into events.
+
+    Empty cells (columns another event type owns) are dropped, and cell
+    values are coerced int → float → str, so a JSONL → CSV → load chain
+    preserves event order, field sets and numeric values exactly
+    (``str(float)`` round-trips in Python).
+    """
+    events: List[TraceEvent] = []
+    with open(path, newline="") as handle:
+        for row in csv.DictReader(handle):
+            fields = {
+                key: _coerce_cell(value)
+                for key, value in row.items()
+                if key not in ("t", "event") and value != ""
+            }
+            events.append(TraceEvent(float(row["t"]), row["event"], fields))
+    return events
+
+
+# ----------------------------------------------------------------------
+# Metrics registry exporters (JSON + OpenMetrics text format)
+# ----------------------------------------------------------------------
+
+
+def metrics_to_dict(meter) -> dict:
+    """JSON-safe snapshot of a :class:`repro.obs.SessionMeter`."""
+    payload = {"version": EXPORT_VERSION}
+    payload.update(meter.as_dict())
+    return payload
+
+
+def write_metrics_json(path: PathLike, meter) -> None:
+    """Write a meter snapshot as an indented JSON file."""
+    Path(path).write_text(json.dumps(metrics_to_dict(meter), indent=1) + "\n")
+
+
+def openmetrics_family(name: str, unit: str = "") -> str:
+    """Map a catalogue metric/span name to its OpenMetrics family name.
+
+    ``.`` becomes ``_``, the ``repro_`` namespace prefix is added, and a
+    trailing ``_s`` of seconds-valued metrics is spelled out as
+    ``_seconds`` (the Prometheus base-unit convention).
+    """
+    family = "repro_" + name.replace(".", "_")
+    if unit == "s" and family.endswith("_s"):
+        family = family[:-2] + "_seconds"
+    return family
+
+
+def _om_number(value: float) -> str:
+    """Render a sample value the OpenMetrics way (integers without .0)."""
+    as_float = float(value)
+    if as_float.is_integer() and abs(as_float) < 1e15:
+        return str(int(as_float))
+    return repr(as_float)
+
+
+def _om_spec(name: str) -> Optional[MetricSpec]:
+    return METRIC_CATALOGUE.get(name)
+
+
+def metrics_to_openmetrics(meter) -> str:
+    """Render a meter in the OpenMetrics text exposition format.
+
+    Counters become ``<family>_total``, gauges bare samples, histograms
+    cumulative ``_bucket{le="..."}`` series plus ``_sum``/``_count``,
+    and wall-clock spans summary families (``_sum``/``_count`` in
+    seconds).  The output ends with ``# EOF`` and parses cleanly in
+    ``tools/check_metrics.py``.
+    """
+    lines: List[str] = []
+
+    def _head(family: str, kind: str, help_text: str) -> None:
+        lines.append(f"# TYPE {family} {kind}")
+        if help_text:
+            lines.append(f"# HELP {family} {help_text}")
+
+    metrics = meter.metrics
+    for name in sorted(metrics.counters):
+        spec = _om_spec(name)
+        family = openmetrics_family(name, spec.unit if spec else "")
+        _head(family, "counter", spec.description if spec else "")
+        lines.append(f"{family}_total {_om_number(metrics.counters[name])}")
+    for name in sorted(metrics.gauges):
+        spec = _om_spec(name)
+        family = openmetrics_family(name, spec.unit if spec else "")
+        _head(family, "gauge", spec.description if spec else "")
+        lines.append(f"{family} {_om_number(metrics.gauges[name])}")
+    for name, hist in sorted(metrics.histograms().items()):
+        spec = _om_spec(name)
+        family = openmetrics_family(name, spec.unit if spec else "")
+        _head(family, "histogram", spec.description if spec else "")
+        cumulative = hist.cumulative()
+        for bound, running in zip(hist.buckets, cumulative):
+            lines.append(
+                f'{family}_bucket{{le="{_om_number(bound)}"}} {running}'
+            )
+        lines.append(f'{family}_bucket{{le="+Inf"}} {cumulative[-1]}')
+        lines.append(f"{family}_sum {_om_number(hist.sum)}")
+        lines.append(f"{family}_count {hist.count}")
+    for name, stats in meter.spans.as_dict().items():
+        spec = SPAN_CATALOGUE.get(name)
+        family = openmetrics_family("span." + name) + "_seconds"
+        _head(family, "summary", spec.description if spec else "")
+        lines.append(f"{family}_sum {repr(float(stats['total_s']))}")
+        lines.append(f"{family}_count {stats['count']}")
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+def write_metrics_openmetrics(path: PathLike, meter) -> None:
+    """Write a meter in the OpenMetrics text format."""
+    Path(path).write_text(metrics_to_openmetrics(meter))
 
 
 def write_frames_csv(path: PathLike, log: SessionLog) -> int:

@@ -19,6 +19,7 @@ from repro.lte.ue import UeUplink
 from repro.net.link import RateLimitedLink, StochasticLink
 from repro.net.packet import Packet
 from repro.obs.bus import NULL_BUS
+from repro.obs.meter import NULL_METER
 from repro.sim.engine import Simulation
 
 PacketSink = Callable[[Packet], None]
@@ -38,6 +39,7 @@ class ForwardPath:
         lte_config: LteConfig,
         rng: np.random.Generator,
         trace=NULL_BUS,
+        meter=NULL_METER,
     ):
         self._sim = sim
         self.config = path_config
@@ -68,7 +70,9 @@ class ForwardPath:
                 loss=path_config.random_loss,
             )
         if path_config.access == "lte":
-            self.ue = UeUplink(sim, lte_config, rng, sink=self._core.deliver, trace=trace)
+            self.ue = UeUplink(
+                sim, lte_config, rng, sink=self._core.deliver, trace=trace, meter=meter
+            )
         elif path_config.access == "wireline":
             self.access_link = RateLimitedLink(
                 sim,

@@ -1,11 +1,42 @@
-"""Structured session observability: the trace bus and event catalogue.
+"""Structured session observability: traces, metrics, spans, the meter.
 
-See ``docs/OBSERVABILITY.md`` for the event reference and worked
-examples, and ``docs/ARCHITECTURE.md`` for where each subsystem emits.
+Three catalogue-driven layers share one design (typed spec tuples,
+falsy null objects, single-truthiness-check hot paths):
+
+* **traces** — :class:`TraceBus` + ``EVENT_CATALOGUE`` (per-event log),
+* **metrics** — :class:`MetricsRegistry` + ``METRIC_CATALOGUE``
+  (counters, gauges, fixed-bucket histograms),
+* **spans** — :class:`SpanProfiler` + ``SPAN_CATALOGUE`` (wall-clock
+  stage timings), bundled per session by :class:`SessionMeter`.
+
+See ``docs/OBSERVABILITY.md`` for the event/metric/span reference and
+worked examples, and ``docs/ARCHITECTURE.md`` for where each subsystem
+emits.
 """
 
 from repro.obs.bus import DEFAULT_CAPACITY, NULL_BUS, NullTraceBus, TraceBus, TraceEvent
 from repro.obs.events import EVENT_CATALOGUE, EVENT_NAMES, EventSpec, subsystem_of
+from repro.obs.meter import NULL_METER, NullMeter, SessionMeter, coerce_meter
+from repro.obs.metrics import (
+    METRIC_CATALOGUE,
+    METRIC_KINDS,
+    METRIC_NAMES,
+    Histogram,
+    MetricSpec,
+    MetricsRegistry,
+    NULL_METRICS,
+    NullMetrics,
+    catalogue_names,
+)
+from repro.obs.spans import (
+    NULL_SPANS,
+    NullSpanProfiler,
+    SPAN_CATALOGUE,
+    SPAN_NAMES,
+    SpanProfiler,
+    SpanSpec,
+    SpanStats,
+)
 
 __all__ = [
     "DEFAULT_CAPACITY",
@@ -17,4 +48,24 @@ __all__ = [
     "EVENT_NAMES",
     "EventSpec",
     "subsystem_of",
+    "METRIC_CATALOGUE",
+    "METRIC_KINDS",
+    "METRIC_NAMES",
+    "Histogram",
+    "MetricSpec",
+    "MetricsRegistry",
+    "NULL_METRICS",
+    "NullMetrics",
+    "catalogue_names",
+    "SPAN_CATALOGUE",
+    "SPAN_NAMES",
+    "NULL_SPANS",
+    "NullSpanProfiler",
+    "SpanProfiler",
+    "SpanSpec",
+    "SpanStats",
+    "NULL_METER",
+    "NullMeter",
+    "SessionMeter",
+    "coerce_meter",
 ]

@@ -1,0 +1,136 @@
+"""The per-session meter: one metrics registry + one span profiler.
+
+Components hold a single ``meter`` collaborator instead of two, and the
+disabled path is the falsy :data:`NULL_METER` singleton — exactly the
+``NULL_BUS`` pattern, so hot call sites guard with one truthiness check
+and pay nothing else when metering is off::
+
+    if self._meter:
+        self._meter.inc("receiver.frames")
+
+Span-timed methods bracket their body with a begin/end pair (one
+truthiness check at each end)::
+
+    meter = self._meter
+    t0 = meter.span_start() if meter else 0.0
+    ...  # stage body
+    if meter:
+        meter.span_end("receiver.display", t0)
+
+A :class:`SessionMeter` is plain data (dicts and floats), so it pickles
+cleanly inside a :class:`repro.telephony.session.SessionResult` and
+per-worker meters from a parallel sweep merge into one fleet meter
+(``repro.experiments.parallel.merged_meter``).
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+from typing import Optional, Union
+
+from repro.obs.metrics import Histogram, MetricsRegistry, NULL_METRICS
+from repro.obs.spans import NULL_SPANS, SpanProfiler
+
+
+class NullMeter:
+    """Metering disabled: falsy, every call is a no-op."""
+
+    enabled = False
+    metrics = NULL_METRICS
+    spans = NULL_SPANS
+
+    def __bool__(self) -> bool:
+        return False
+
+    def inc(self, name: str, amount: float = 1.0) -> None:
+        """Discard the increment."""
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Discard the gauge write."""
+
+    def observe(self, name: str, value: float) -> None:
+        """Discard the observation."""
+
+    def span_start(self) -> float:
+        return 0.0
+
+    def span_end(self, name: str, t0: float) -> None:
+        """Discard the span sample."""
+
+    def span(self, name: str):
+        return NULL_SPANS.span(name)
+
+
+#: The shared disabled meter — every component's default collaborator.
+NULL_METER = NullMeter()
+
+
+class SessionMeter:
+    """Metrics registry + span profiler for one session (or one fleet)."""
+
+    enabled = True
+
+    def __init__(
+        self,
+        metrics: Optional[MetricsRegistry] = None,
+        spans: Optional[SpanProfiler] = None,
+    ):
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.spans = spans if spans is not None else SpanProfiler()
+
+    def __bool__(self) -> bool:
+        return True
+
+    # -------------------------------------------------- metric passthrough
+
+    def inc(self, name: str, amount: float = 1.0) -> None:
+        self.metrics.inc(name, amount)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        self.metrics.set_gauge(name, value)
+
+    def observe(self, name: str, value: float) -> None:
+        self.metrics.observe(name, value)
+
+    def histogram(self, name: str) -> Optional[Histogram]:
+        return self.metrics.histogram(name)
+
+    # ----------------------------------------------------- span passthrough
+
+    def span_start(self) -> float:
+        """Wall-clock anchor for a begin/end span pair."""
+        return perf_counter()
+
+    def span_end(self, name: str, t0: float) -> None:
+        """Record ``now - t0`` into the named span."""
+        self.spans.record(name, perf_counter() - t0)
+
+    def span(self, name: str):
+        """Context-manager form for non-hot call sites."""
+        return self.spans.span(name)
+
+    # ------------------------------------------------------------ plumbing
+
+    def merge(self, other: "SessionMeter") -> None:
+        """Fold another meter (e.g. one worker's) into this one."""
+        self.metrics.merge(other.metrics)
+        self.spans.merge(other.spans)
+
+    def as_dict(self) -> dict:
+        """JSON-safe snapshot: the registry plus span statistics."""
+        payload = self.metrics.as_dict()
+        payload["spans"] = self.spans.as_dict()
+        return payload
+
+
+def coerce_meter(meter: Union[bool, None, NullMeter, SessionMeter]):
+    """Normalise a user-facing ``meter`` argument.
+
+    ``False``/``None`` → :data:`NULL_METER`, ``True`` → a fresh
+    :class:`SessionMeter`, an existing meter passes through.
+    """
+    if meter is True:
+        return SessionMeter()
+    if not meter:
+        return NULL_METER
+    return meter

@@ -1,0 +1,410 @@
+"""The deterministic metrics registry and its typed catalogue.
+
+Where the trace bus (``repro.obs.bus``) records *individual* events for
+one session, the metrics layer aggregates: counters, gauges and
+fixed-bucket histograms keyed by a typed :data:`METRIC_CATALOGUE` —
+the same single-source-of-truth pattern as ``EVENT_CATALOGUE``.
+Registries are plain accumulators, so per-worker registries from a
+parallel sweep merge into one *fleet* registry with exact totals
+(``repro.experiments.parallel.merged_meter``).
+
+Determinism contract: a registry only ever *reads* component state and
+writes into its own dictionaries.  It never touches an RNG stream,
+never schedules simulation events, and never feeds anything back into
+the simulation, so a metered session is byte-identical to a plain one
+(asserted down to per-stream RNG bit-generator states in
+``tests/test_obs.py``).  Metric values themselves are pure functions of
+the simulation, hence bit-identical across serial/parallel runs; only
+the *span* profiler (``repro.obs.spans``) records wall-clock, and that
+wall-clock never enters simulation state.
+
+Metric names are stable identifiers validated against the catalogue on
+first use — a typo'd ``inc`` raises instead of silently creating a new
+series, which is what keeps docs, exporters and the
+``tools/check_metrics.py`` drift gate honest.
+
+>>> registry = MetricsRegistry()
+>>> registry.inc("receiver.frames")
+>>> registry.inc("receiver.frames", 2)
+>>> registry.counters["receiver.frames"]
+3.0
+>>> registry.observe("receiver.delay_s", 0.18)
+>>> registry.histogram("receiver.delay_s").count
+1
+>>> bool(NULL_METRICS), bool(registry)
+(False, True)
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Dict, Iterable, List, NamedTuple, Optional, Tuple
+
+
+class MetricSpec(NamedTuple):
+    """Catalogue entry for one metric name."""
+
+    name: str
+    kind: str  # "counter" | "gauge" | "histogram"
+    subsystem: str
+    unit: str
+    site: str
+    description: str
+    #: Upper bucket bounds (histograms only); an implicit +Inf bucket
+    #: always follows the last bound.
+    buckets: Tuple[float, ...] = ()
+
+
+#: The three metric kinds the registry understands.
+METRIC_KINDS = ("counter", "gauge", "histogram")
+
+_SPECS = (
+    # ------------------------------------------------------------- session
+    MetricSpec(
+        "session.runs", "counter", "session", "",
+        "repro.telephony.session.TelephonySession.run",
+        "Sessions run to completion.",
+    ),
+    # -------------------------------------------------------------- engine
+    MetricSpec(
+        "sim.runs", "counter", "engine", "",
+        "repro.sim.engine.Simulation.run",
+        "Event-loop drains (one per Simulation.run call).",
+    ),
+    MetricSpec(
+        "sim.events", "counter", "engine", "",
+        "repro.sim.engine.Simulation.run",
+        "Events dispatched by the simulation loop.",
+    ),
+    # ----------------------------------------------------------------- lte
+    MetricSpec(
+        "lte.subframes", "counter", "lte", "",
+        "repro.lte.ue.UeUplink._subframe",
+        "Active (non-idle-skipped) 1 ms uplink subframes processed.",
+    ),
+    MetricSpec(
+        "lte.drops", "counter", "lte", "",
+        "repro.lte.ue.UeUplink.send",
+        "RTP packets the modem dropped at firmware-buffer capacity.",
+    ),
+    MetricSpec(
+        "lte.diag_batches", "counter", "lte", "",
+        "repro.lte.diagnostics.DiagMonitor._deliver",
+        "40 ms diagnostic batches delivered to subscribers.",
+    ),
+    MetricSpec(
+        "lte.cqi", "histogram", "lte", "",
+        "repro.lte.channel.ChannelProcess._update",
+        "Distribution of the 50 Hz channel-quality indicator.",
+        buckets=(0.0, 2.0, 4.0, 6.0, 8.0, 10.0, 12.0, 14.0, 15.0),
+    ),
+    # ---------------------------------------------------------------- fbcc
+    MetricSpec(
+        "fbcc.ticks", "counter", "fbcc", "",
+        "repro.rate_control.fbcc.controller.FbccTransport.on_diag",
+        "Diagnostic batches consumed by the FBCC controller (25 Hz).",
+    ),
+    MetricSpec(
+        "fbcc.congestion_events", "counter", "fbcc", "",
+        "repro.rate_control.fbcc.controller.FbccTransport.on_diag",
+        "Eq. (3) uplink-congestion detections.",
+    ),
+    MetricSpec(
+        "fbcc.video_rate_mbps", "histogram", "fbcc", "Mbps",
+        "repro.rate_control.fbcc.controller.FbccTransport.on_diag",
+        "Distribution of the Eq. (6) encoding rate Rv, sampled per tick.",
+        buckets=(0.5, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 8.0, 10.0),
+    ),
+    # ----------------------------------------------------------------- gcc
+    MetricSpec(
+        "gcc.updates", "counter", "gcc", "",
+        "repro.rate_control.gcc.controller.GccSenderControl.on_feedback",
+        "REMB / receiver-report rate updates processed by the GCC sender.",
+    ),
+    # --------------------------------------------------------- compression
+    MetricSpec(
+        "compression.mode_switches", "counter", "compression", "",
+        "repro.compression.poi360.AdaptiveCompression._note_switch",
+        "Effective compression-mode changes (Eq. 1-2 feedback or rate cap).",
+    ),
+    MetricSpec(
+        "compression.desired_index", "histogram", "compression", "",
+        "repro.compression.poi360.AdaptiveCompression.update_mismatch",
+        "Distribution of the M-selected desired mode index (0 = crop).",
+        buckets=(0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0),
+    ),
+    # ----------------------------------------------------------- telephony
+    MetricSpec(
+        "sender.frames", "counter", "telephony", "",
+        "repro.telephony.sender.PanoramicSender._on_capture",
+        "Frames captured, compressed and encoded by the sender.",
+    ),
+    MetricSpec(
+        "sender.frame_kbits", "histogram", "telephony", "kbit",
+        "repro.telephony.sender.PanoramicSender._on_capture",
+        "Distribution of encoded frame sizes.",
+        buckets=(10.0, 25.0, 50.0, 100.0, 150.0, 200.0, 300.0, 500.0),
+    ),
+    MetricSpec(
+        "receiver.frames", "counter", "telephony", "",
+        "repro.telephony.receiver.PanoramicReceiver._display",
+        "Frames displayed by the viewer.",
+    ),
+    MetricSpec(
+        "receiver.freezes", "counter", "telephony", "",
+        "repro.telephony.receiver.PanoramicReceiver._display",
+        "Displayed frames whose delay exceeded the freeze threshold.",
+    ),
+    MetricSpec(
+        "receiver.nacks", "counter", "telephony", "",
+        "repro.telephony.receiver.PanoramicReceiver._send_nack",
+        "NACK messages sent by the viewer.",
+    ),
+    MetricSpec(
+        "receiver.delay_s", "histogram", "telephony", "s",
+        "repro.telephony.receiver.PanoramicReceiver._display",
+        "Distribution of capture-to-display frame delay.",
+        buckets=(0.05, 0.1, 0.15, 0.2, 0.3, 0.5, 0.75, 1.0, 1.5, 2.0),
+    ),
+    MetricSpec(
+        "receiver.psnr_db", "histogram", "telephony", "dB",
+        "repro.telephony.receiver.PanoramicReceiver._display",
+        "Distribution of ROI-region PSNR per displayed frame.",
+        buckets=(24.0, 28.0, 30.0, 32.0, 34.0, 36.0, 38.0, 40.0, 44.0),
+    ),
+    MetricSpec(
+        "receiver.mismatch_s", "histogram", "telephony", "s",
+        "repro.telephony.receiver.PanoramicReceiver._display",
+        "Distribution of the Eq. (2) per-frame mismatch time M.",
+        buckets=(0.1, 0.2, 0.3, 0.5, 0.75, 1.0, 1.5, 2.0, 3.0),
+    ),
+    # --------------------------------------------------------------- cache
+    MetricSpec(
+        "cache.entry_hits", "counter", "cache", "",
+        "repro.experiments.cache.load",
+        "Persistent-cache condition entries served from disk.",
+    ),
+    MetricSpec(
+        "cache.entry_misses", "counter", "cache", "",
+        "repro.experiments.cache.load",
+        "Persistent-cache lookups that had to simulate.",
+    ),
+    MetricSpec(
+        "cache.session_hits", "counter", "cache", "",
+        "repro.experiments.cache.load",
+        "Individual session results served from the persistent cache.",
+    ),
+    MetricSpec(
+        "cache.sessions_stored", "counter", "cache", "",
+        "repro.experiments.cache.store",
+        "Individual session results persisted after a miss.",
+    ),
+    # --------------------------------------------------------------- fleet
+    MetricSpec(
+        "fleet.sessions", "counter", "fleet", "",
+        "repro.experiments.parallel.merged_meter",
+        "Per-session registries merged into this fleet registry.",
+    ),
+    MetricSpec(
+        "fleet.workers", "gauge", "fleet", "",
+        "repro.experiments.parallel.merged_meter",
+        "Worker processes the merged sweep fanned across.",
+    ),
+    MetricSpec(
+        "fleet.straggler_s", "gauge", "fleet", "s",
+        "repro.experiments.parallel.merged_meter",
+        "Wall-clock seconds of the slowest merged session.",
+    ),
+    MetricSpec(
+        "fleet.straggler_index", "gauge", "fleet", "",
+        "repro.experiments.parallel.merged_meter",
+        "Task-order index of the slowest merged session.",
+    ),
+)
+
+#: Name → spec for every metric the stack can record.
+METRIC_CATALOGUE: Dict[str, MetricSpec] = {spec.name: spec for spec in _SPECS}
+
+#: Stable ordering for docs and exporters.
+METRIC_NAMES: Tuple[str, ...] = tuple(spec.name for spec in _SPECS)
+
+
+class Histogram:
+    """Fixed-bucket histogram state (non-cumulative per-bucket counts).
+
+    ``buckets`` are upper bounds; ``counts`` has one slot per bound plus
+    a trailing overflow (+Inf) slot.  ``sum``/``count`` keep exact
+    totals so the mean survives any bucketing.
+    """
+
+    __slots__ = ("buckets", "counts", "sum", "count")
+
+    def __init__(self, buckets: Tuple[float, ...]):
+        self.buckets = tuple(buckets)
+        self.counts: List[int] = [0] * (len(self.buckets) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        # le-semantics: the first bucket whose bound >= value.
+        self.counts[bisect_left(self.buckets, value)] += 1
+        self.sum += value
+        self.count += 1
+
+    def cumulative(self) -> List[int]:
+        """Counts as OpenMetrics cumulative le-buckets (incl. +Inf)."""
+        out: List[int] = []
+        running = 0
+        for count in self.counts:
+            running += count
+            out.append(running)
+        return out
+
+    def merge(self, other: "Histogram") -> None:
+        if self.buckets != other.buckets:
+            raise ValueError(
+                f"cannot merge histograms with different buckets "
+                f"({self.buckets} vs {other.buckets})"
+            )
+        for index, count in enumerate(other.counts):
+            self.counts[index] += count
+        self.sum += other.sum
+        self.count += other.count
+
+    def as_dict(self) -> dict:
+        return {
+            "buckets": list(self.buckets),
+            "counts": list(self.counts),
+            "sum": self.sum,
+            "count": self.count,
+        }
+
+
+class NullMetrics:
+    """Metering disabled: falsy, every record call is a no-op."""
+
+    enabled = False
+    counters: Dict[str, float] = {}
+    gauges: Dict[str, float] = {}
+
+    def __bool__(self) -> bool:
+        return False
+
+    def inc(self, name: str, amount: float = 1.0) -> None:
+        """Discard the increment."""
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Discard the gauge write."""
+
+    def observe(self, name: str, value: float) -> None:
+        """Discard the observation."""
+
+    def histogram(self, name: str) -> Optional[Histogram]:
+        return None
+
+    def histograms(self) -> Dict[str, Histogram]:
+        return {}
+
+
+#: The shared disabled registry.
+NULL_METRICS = NullMetrics()
+
+
+def _spec_of(name: str, kind: str) -> MetricSpec:
+    spec = METRIC_CATALOGUE.get(name)
+    if spec is None:
+        raise KeyError(
+            f"unknown metric {name!r}: not in METRIC_CATALOGUE "
+            f"(repro.obs.metrics)"
+        )
+    if spec.kind != kind:
+        raise ValueError(f"metric {name!r} is a {spec.kind}, not a {kind}")
+    return spec
+
+
+class MetricsRegistry:
+    """Catalogue-validated counters, gauges and fixed-bucket histograms."""
+
+    enabled = True
+
+    def __init__(self):
+        #: Exact counter totals, name → value.
+        self.counters: Dict[str, float] = {}
+        #: Last-written gauge values, name → value.
+        self.gauges: Dict[str, float] = {}
+        self._hists: Dict[str, Histogram] = {}
+
+    def __bool__(self) -> bool:
+        return True
+
+    def inc(self, name: str, amount: float = 1.0) -> None:
+        """Add ``amount`` to a catalogue counter."""
+        counters = self.counters
+        if name not in counters:
+            _spec_of(name, "counter")
+            counters[name] = 0.0
+        counters[name] += amount
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Set a catalogue gauge to ``value`` (last write wins on merge)."""
+        if name not in self.gauges:
+            _spec_of(name, "gauge")
+        self.gauges[name] = value
+
+    def observe(self, name: str, value: float) -> None:
+        """Record one sample into a catalogue histogram."""
+        hist = self._hists.get(name)
+        if hist is None:
+            hist = Histogram(_spec_of(name, "histogram").buckets)
+            self._hists[name] = hist
+        hist.observe(value)
+
+    def histogram(self, name: str) -> Optional[Histogram]:
+        """The named histogram's state, or None if never observed."""
+        return self._hists.get(name)
+
+    def histograms(self) -> Dict[str, Histogram]:
+        """Name → histogram for every observed histogram."""
+        return dict(self._hists)
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry into this one (counters/buckets sum,
+        gauges overwrite)."""
+        for name, value in other.counters.items():
+            self.counters[name] = self.counters.get(name, 0.0) + value
+        self.gauges.update(other.gauges)
+        for name, hist in other._hists.items():
+            mine = self._hists.get(name)
+            if mine is None:
+                mine = Histogram(hist.buckets)
+                self._hists[name] = mine
+            mine.merge(hist)
+
+    def counters_by_subsystem(self) -> Dict[str, Dict[str, float]]:
+        """Counter table grouped by the catalogue's subsystem labels."""
+        grouped: Dict[str, Dict[str, float]] = {}
+        for name, value in sorted(self.counters.items()):
+            spec = METRIC_CATALOGUE.get(name)
+            subsystem = spec.subsystem if spec else "other"
+            grouped.setdefault(subsystem, {})[name] = value
+        return grouped
+
+    def as_dict(self) -> dict:
+        """JSON-safe snapshot of the whole registry."""
+        return {
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+            "histograms": {
+                name: hist.as_dict() for name, hist in sorted(self._hists.items())
+            },
+        }
+
+
+def catalogue_names(kinds: Optional[Iterable[str]] = None) -> Tuple[str, ...]:
+    """Catalogue metric names, optionally filtered by kind."""
+    if kinds is None:
+        return METRIC_NAMES
+    wanted = set(kinds)
+    return tuple(
+        name for name in METRIC_NAMES if METRIC_CATALOGUE[name].kind in wanted
+    )

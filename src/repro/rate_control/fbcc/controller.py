@@ -19,6 +19,7 @@ from repro.rate_control.fbcc.encoding import EncodingRateControl
 from repro.rate_control.fbcc.rtp import RtpRateControl
 from repro.rate_control.gcc.controller import GccSenderControl
 from repro.obs.bus import NULL_BUS
+from repro.obs.meter import NULL_METER
 from repro.sim.engine import Simulation
 
 
@@ -34,11 +35,13 @@ class FbccTransport(TransportController):
         gcc_config: GccConfig,
         diag_interval: float,
         trace=NULL_BUS,
+        meter=NULL_METER,
     ):
         self._sim = sim
         self._config = fbcc_config
         self._trace = trace
-        self.gcc = GccSenderControl(gcc_config, trace=trace)
+        self._meter = meter
+        self.gcc = GccSenderControl(gcc_config, trace=trace, meter=meter)
         self.detector = CongestionDetector(fbcc_config)
         self.bandwidth = TbsBandwidthEstimator(fbcc_config.tbs_window_subframes)
         self.encoding = EncodingRateControl(
@@ -66,8 +69,11 @@ class FbccTransport(TransportController):
 
     def on_diag(self, batch: List[DiagRecord]) -> None:
         """Consume one 40 ms diagnostic batch from the modem."""
+        meter = self._meter
+        t0 = meter.span_start() if meter else 0.0
         self.bandwidth.on_batch(batch)
-        if self.detector.on_batch(batch):
+        congested = self.detector.on_batch(batch)
+        if congested:
             self.encoding.on_congestion(self.bandwidth.rate_bps, self._sim.now)
             if self._trace:
                 self._trace.emit(
@@ -85,3 +91,9 @@ class FbccTransport(TransportController):
                 bw_est_bps=self.bandwidth.rate_bps,
                 target_buffer_bytes=self.rtp.target_buffer,
             )
+        if meter:
+            meter.inc("fbcc.ticks")
+            if congested:
+                meter.inc("fbcc.congestion_events")
+            meter.observe("fbcc.video_rate_mbps", self.video_rate / 1e6)
+            meter.span_end("rate_control.tick", t0)

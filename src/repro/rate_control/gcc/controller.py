@@ -16,6 +16,7 @@ from typing import Any, Callable, Deque, Dict, Optional, Tuple
 from repro.config import GccConfig
 from repro.net.packet import Packet
 from repro.obs.bus import NULL_BUS
+from repro.obs.meter import NULL_METER
 from repro.rate_control.base import RttEstimator, TransportController
 from repro.rate_control.gcc.aimd import AimdRateControl
 from repro.rate_control.gcc.arrival import InterGroupFilter, TrendlineEstimator
@@ -129,14 +130,17 @@ class GccReceiver:
 class GccSenderControl:
     """Sender-side GCC: loss-based rate ∧ delay-based REMB, plus RTT."""
 
-    def __init__(self, config: GccConfig, trace=NULL_BUS):
+    def __init__(self, config: GccConfig, trace=NULL_BUS, meter=NULL_METER):
         self._config = config
         self._loss_based = LossBasedControl(config)
         self._remb: Optional[float] = None
         self.rtt = RttEstimator()
         self._trace = trace
+        self._meter = meter
 
     def on_feedback(self, message: Dict[str, Any], now: float) -> None:
+        meter = self._meter
+        t0 = meter.span_start() if meter else 0.0
         if "echo_send" in message:
             self.rtt.on_echo(message["echo_send"], message.get("echo_hold", 0.0), now)
         kind = message.get("type")
@@ -144,8 +148,12 @@ class GccSenderControl:
             self._remb = message["rate"]
         elif kind == "rr":
             self._loss_based.on_receiver_report(message["loss"])
-        if kind in ("remb", "rr") and self._trace:
-            self._trace.emit("gcc.rate", rate_bps=self.rate, kind=kind)
+        if kind in ("remb", "rr"):
+            if self._trace:
+                self._trace.emit("gcc.rate", rate_bps=self.rate, kind=kind)
+            if meter:
+                meter.inc("gcc.updates")
+                meter.span_end("rate_control.tick", t0)
 
     @property
     def rate(self) -> float:
@@ -161,9 +169,9 @@ class GccTransport(TransportController):
 
     name = "gcc"
 
-    def __init__(self, config: GccConfig, trace=NULL_BUS):
+    def __init__(self, config: GccConfig, trace=NULL_BUS, meter=NULL_METER):
         self._config = config
-        self.sender = GccSenderControl(config, trace=trace)
+        self.sender = GccSenderControl(config, trace=trace, meter=meter)
 
     @property
     def video_rate(self) -> float:

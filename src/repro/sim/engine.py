@@ -26,6 +26,7 @@ import math
 from typing import Any, Callable, List, Optional, Tuple
 
 from repro.obs.bus import NULL_BUS
+from repro.obs.meter import NULL_METER
 
 #: Compact the heap only when at least this many cancelled entries are
 #: buried in it (avoids rebuilding tiny queues over and over).
@@ -159,6 +160,11 @@ class Simulation:
         #: session enables tracing. Only ``run()`` boundaries emit — the
         #: per-event dispatch loop stays untouched.
         self.trace = NULL_BUS
+        #: Metrics meter (``repro.obs.meter``); the falsy NULL_METER
+        #: unless a session enables metering. ``run()`` selects a
+        #: counting dispatch loop only when the meter is live, so the
+        #: unmetered hot loop is byte-for-byte the historical one.
+        self.meter = NULL_METER
 
     @property
     def now(self) -> float:
@@ -288,25 +294,46 @@ class Simulation:
             self.trace.emit("sim.run_begin", deadline=deadline, pending=self._live)
         queue = self._queue
         pop = heapq.heappop
+        meter = self.meter
+        dispatched = 0
         self._running = True
         try:
-            while queue:
-                entry = queue[0]
-                when = entry[0]
-                if when > deadline:
-                    break
-                pop(queue)
-                handle = entry[2]
-                handle._queued -= 1
-                if handle.cancelled:
-                    continue
-                self._live -= 1
-                self._now = when
-                entry[3](*entry[4])
+            if meter:
+                while queue:
+                    entry = queue[0]
+                    when = entry[0]
+                    if when > deadline:
+                        break
+                    pop(queue)
+                    handle = entry[2]
+                    handle._queued -= 1
+                    if handle.cancelled:
+                        continue
+                    self._live -= 1
+                    self._now = when
+                    dispatched += 1
+                    entry[3](*entry[4])
+            else:
+                while queue:
+                    entry = queue[0]
+                    when = entry[0]
+                    if when > deadline:
+                        break
+                    pop(queue)
+                    handle = entry[2]
+                    handle._queued -= 1
+                    if handle.cancelled:
+                        continue
+                    self._live -= 1
+                    self._now = when
+                    entry[3](*entry[4])
         finally:
             self._running = False
         if deadline is not math.inf:
             self._now = deadline
+        if meter:
+            meter.inc("sim.runs")
+            meter.inc("sim.events", dispatched)
         if self.trace:
             self.trace.emit("sim.run_end", pending=self._live)
 

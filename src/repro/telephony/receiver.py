@@ -22,6 +22,7 @@ from repro.metrics.summary import SessionLog
 from repro.net.packet import Packet
 from repro.net.path import ReversePath
 from repro.obs.bus import NULL_BUS
+from repro.obs.meter import NULL_METER
 from repro.rate_control.gcc.controller import GccReceiver
 from repro.roi.viewport import Viewport
 from repro.sim.engine import Simulation
@@ -112,9 +113,11 @@ class PanoramicReceiver:
         log: SessionLog,
         rng: np.random.Generator,
         trace=NULL_BUS,
+        meter=NULL_METER,
     ):
         self._sim = sim
         self._trace = trace
+        self._meter = meter
         self._config = config
         self._grid = grid
         self._content = content
@@ -257,6 +260,8 @@ class PanoramicReceiver:
     # ------------------------------------------------------------------
 
     def _display(self, frame: EncodedFrame) -> None:
+        meter = self._meter
+        t0 = meter.span_start() if meter else 0.0
         now = self._sim.now
         sent_time = decode_timestamp(frame.timestamp_blocks, self._rng)
         delay = (now + self._clock_offset) - sent_time
@@ -300,6 +305,14 @@ class PanoramicReceiver:
             )
             if delay > self._config.freeze_threshold:
                 self._trace.emit("receiver.freeze", delay_s=delay)
+        if meter:
+            meter.inc("receiver.frames")
+            meter.observe("receiver.delay_s", delay)
+            meter.observe("receiver.psnr_db", roi_psnr)
+            meter.observe("receiver.mismatch_s", mismatch)
+            if delay > self._config.freeze_threshold:
+                meter.inc("receiver.freezes")
+            meter.span_end("receiver.display", t0)
 
     def _region_tiles(self, center: Tuple[int, int]):
         """Absolute (i, j) index arrays of the measurement crop around
@@ -377,6 +390,8 @@ class PanoramicReceiver:
     def _send_nack(self, seqs: List[int]) -> None:
         if self._trace:
             self._trace.emit("receiver.nack", count=len(seqs))
+        if self._meter:
+            self._meter.inc("receiver.nacks", len(seqs))
         self._feedback({"type": "nack", "seqs": seqs})
 
     def _service_recovery(self) -> None:

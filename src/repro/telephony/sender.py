@@ -19,6 +19,7 @@ from repro.metrics.summary import SessionLog
 from repro.net.packet import Packet
 from repro.net.path import ForwardPath
 from repro.obs.bus import NULL_BUS
+from repro.obs.meter import NULL_METER
 from repro.rate_control.base import TransportController
 from repro.rate_control.pacer import PacedSender
 from repro.sim.engine import Simulation
@@ -48,9 +49,11 @@ class PanoramicSender:
         grid: TileGrid,
         log: SessionLog,
         trace=NULL_BUS,
+        meter=NULL_METER,
     ):
         self._sim = sim
         self._trace = trace
+        self._meter = meter
         self._config = config
         self._scheme = scheme
         self._transport = transport
@@ -80,6 +83,8 @@ class PanoramicSender:
         sim.every(RATE_SAMPLE_INTERVAL, self._sample_rates)
 
     def _on_capture(self, index: int, now: float) -> None:
+        meter = self._meter
+        t0 = meter.span_start() if meter else 0.0
         target_rate = self._transport.video_rate
         if self.fec is not None:
             # Cede the parity overhead: media + FEC must fit the target.
@@ -94,6 +99,10 @@ class PanoramicSender:
             self._trace.emit(
                 "sender.frame", target_rate_bps=target_rate, size_bits=frame.size_bits
             )
+        if meter:
+            meter.inc("sender.frames")
+            meter.observe("sender.frame_kbits", frame.size_bits / 1e3)
+            meter.span_end("sender.encode", t0)
         self._sim.schedule(self._config.video.encode_latency, self._emit_frame, frame)
 
     def _emit_frame(self, frame: EncodedFrame) -> None:

@@ -19,6 +19,7 @@ from repro.lte.diagnostics import DiagRecord
 from repro.metrics.summary import SessionLog, SessionSummary
 from repro.net.path import ForwardPath, ReversePath
 from repro.obs.bus import NULL_BUS, TraceBus
+from repro.obs.meter import SessionMeter, coerce_meter
 from repro.rate_control.base import TransportController
 from repro.rate_control.fbcc.controller import FbccTransport
 from repro.rate_control.gcc.controller import GccReceiver, GccTransport
@@ -42,13 +43,17 @@ class SessionResult:
     ``trace`` is the session's :class:`repro.obs.TraceBus` when tracing
     was enabled (``run_session(..., trace=True)``), else ``None`` — the
     default keeps cached results and the parallel runner byte-identical
-    to untraced runs.
+    to untraced runs.  ``meter`` is likewise the session's
+    :class:`repro.obs.SessionMeter` (counters, histograms, spans) when
+    metering was enabled (``run_session(..., meter=True)``), else
+    ``None``.
     """
 
     config: SessionConfig
     summary: SessionSummary
     log: SessionLog
     trace: Optional[TraceBus] = None
+    meter: Optional[SessionMeter] = None
 
 
 class TelephonySession:
@@ -64,6 +69,7 @@ class TelephonySession:
         profile: Optional[UserProfile] = None,
         head_trace=None,
         trace=False,
+        meter=False,
     ):
         if profile is not None:
             config = dataclasses.replace(config, viewer=profile.apply(config.viewer))
@@ -83,26 +89,36 @@ class TelephonySession:
             trace.bind_clock(lambda: self.sim._now)
         self.trace = trace
         self.sim.trace = trace
+        # ``meter`` is False (off), True (fresh SessionMeter), or a
+        # SessionMeter the caller built (e.g. shared across sessions).
+        # Like trace emissions, metric/span emissions only read component
+        # state; span timings read the wall clock but never write
+        # anything back into the simulation.
+        meter = coerce_meter(meter)
+        self.meter = meter
+        self.sim.meter = meter
 
         video = config.video
         self.grid = TileGrid(video.width, video.height, video.tiles_x, video.tiles_y)
         self.content = ContentModel(self.grid, self.rng.stream("content"))
 
         self.forward = ForwardPath(
-            self.sim, config.path, config.lte, self.rng.stream("forward"), trace=trace
+            self.sim, config.path, config.lte, self.rng.stream("forward"),
+            trace=trace, meter=meter,
         )
         self.reverse = ReversePath(self.sim, config.path, self.rng.stream("reverse"))
 
         self.transport = self._build_transport()
         scheme = make_scheme(
-            config.scheme, config.compression, self.grid, config.viewer, trace=trace
+            config.scheme, config.compression, self.grid, config.viewer,
+            trace=trace, meter=meter,
         )
         self.scheme = scheme
 
         encoder = FrameEncoder(video, self.grid, self.content, self.rng.stream("encoder"))
         self.sender = PanoramicSender(
             self.sim, config, scheme, self.transport, self.forward, encoder, self.grid,
-            self.log, trace=trace,
+            self.log, trace=trace, meter=meter,
         )
 
         if head_trace is not None:
@@ -135,6 +151,7 @@ class TelephonySession:
             self.log,
             self.rng.stream("receiver"),
             trace=trace,
+            meter=meter,
         )
 
         self.forward.set_receiver(self.receiver.on_media_packet)
@@ -150,7 +167,7 @@ class TelephonySession:
     def _build_transport(self) -> TransportController:
         name = self.config.transport.lower()
         if name == "gcc":
-            return GccTransport(self.config.gcc, trace=self.trace)
+            return GccTransport(self.config.gcc, trace=self.trace, meter=self.meter)
         if name == "gcc_ss":
             from repro.rate_control.gcc.sendside import SendSideGccTransport
 
@@ -163,7 +180,7 @@ class TelephonySession:
                 )
             return FbccTransport(
                 self.sim, self.config.fbcc, self.config.gcc,
-                self.config.lte.diag_interval, trace=self.trace,
+                self.config.lte.diag_interval, trace=self.trace, meter=self.meter,
             )
         raise ValueError(f"unknown transport: {name!r}")
 
@@ -198,6 +215,8 @@ class TelephonySession:
         and the paper reports steady telephony behaviour.
         """
         duration = duration if duration is not None else self.config.duration
+        meter = self.meter
+        t0 = meter.span_start() if meter else 0.0
         if self.trace:
             self.trace.emit(
                 "session.start",
@@ -222,11 +241,15 @@ class TelephonySession:
             duration=duration,
             freeze_threshold=self.config.freeze_threshold,
         )
+        if meter:
+            meter.inc("session.runs")
+            meter.span_end("session.run", t0)
         return SessionResult(
             config=self.config,
             summary=summary,
             log=self.log,
             trace=self.trace if self.trace else None,
+            meter=meter if meter else None,
         )
 
     def _finalise_counters(self) -> None:
@@ -246,14 +269,19 @@ def run_session(
     duration: Optional[float] = None,
     warmup: float = 0.0,
     trace=False,
+    meter=False,
 ) -> SessionResult:
     """Build and run one telephony session.
 
     ``trace=True`` attaches a :class:`repro.obs.TraceBus` to every
     subsystem and returns it on ``SessionResult.trace`` (see
     docs/OBSERVABILITY.md); a :class:`~repro.obs.TraceBus` instance may
-    be passed instead for a custom ring capacity.
+    be passed instead for a custom ring capacity.  ``meter=True``
+    likewise attaches a :class:`repro.obs.SessionMeter` (counters,
+    histograms, stage spans) returned on ``SessionResult.meter``; a
+    :class:`~repro.obs.SessionMeter` instance may be passed to
+    accumulate several sessions into one registry.
     """
-    return TelephonySession(config, profile=profile, trace=trace).run(
+    return TelephonySession(config, profile=profile, trace=trace, meter=meter).run(
         duration, warmup=warmup
     )

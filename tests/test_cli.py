@@ -113,3 +113,68 @@ def test_trace_writes_csv_file(tmp_path, capsys):
     lines = path.read_text().strip().splitlines()
     assert lines[0].startswith("t,event")
     assert len(lines) > 100
+
+
+def test_profile_sort_and_limit(capsys):
+    code = cli.main(
+        ["profile", "--scenario", "cellular", "--duration", "2", "--warmup", "0",
+         "--sort", "tottime", "--limit", "5"]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "Ordered by: internal time" in out
+    assert "List reduced" in out and "to 5 due to restriction" in out
+
+
+def test_metrics_summary(capsys):
+    code = cli.main(
+        ["metrics", "--scenario", "cellular", "--duration", "5", "--warmup", "1",
+         "--sessions", "1"]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "sessions=1 workers=1" in out
+    assert "receiver.frames" in out
+    assert "receiver.delay_s (s):" in out
+    assert "spans (wall clock)" in out
+    assert "session.run" in out
+
+
+def test_metrics_openmetrics_passes_gate(tmp_path, capsys):
+    path = tmp_path / "metrics.txt"
+    code = cli.main(
+        ["metrics", "--scenario", "cellular", "--duration", "5", "--warmup", "1",
+         "--format", "openmetrics", "--output", str(path)]
+    )
+    assert code == 0
+    text = path.read_text()
+    assert text.endswith("# EOF\n")
+    assert "repro_receiver_frames_total" in text
+
+    import importlib.util
+    from pathlib import Path
+
+    tool = Path(cli.__file__).resolve().parents[2] / "tools" / "check_metrics.py"
+    spec = importlib.util.spec_from_file_location("check_metrics_cli", tool)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    assert module.check(text) == []
+
+
+def test_metrics_json_format(capsys):
+    code = cli.main(
+        ["metrics", "--scenario", "cellular", "--duration", "5", "--warmup", "1",
+         "--format", "json"]
+    )
+    assert code == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["counters"]["session.runs"] == 1
+    assert "session.run" in payload["spans"]
+
+
+def test_metrics_rejects_fbcc_on_wireline(capsys):
+    code = cli.main(
+        ["metrics", "--scenario", "wireline", "--transport", "fbcc",
+         "--duration", "2"]
+    )
+    assert code == 2

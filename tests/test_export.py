@@ -72,3 +72,33 @@ def test_summary_dict_is_json_safe():
     payload = export.summary_to_dict(_summary(_log()))
     json.dumps(payload)  # must not raise
     assert payload["freeze_ratio"] == 0.0
+
+
+def test_trace_jsonl_to_csv_round_trip(tmp_path):
+    """JSONL -> load -> CSV -> load preserves order, fields and counts."""
+    from repro.traces.scenarios import scenario
+    from repro.telephony.session import run_session
+
+    config = scenario(
+        "cellular", scheme="poi360", transport="fbcc", duration=3.0, seed=1
+    )
+    events = list(run_session(config, warmup=0.0, trace=True).trace.events)
+    assert events
+
+    jsonl = tmp_path / "trace.jsonl"
+    assert export.write_trace_jsonl(jsonl, events) == len(events)
+    loaded = export.read_trace_jsonl(jsonl)
+    assert loaded == events
+
+    csv_path = tmp_path / "trace.csv"
+    assert export.write_trace_csv(csv_path, loaded) == len(events)
+    from_csv = export.read_trace_csv(csv_path)
+    assert len(from_csv) == len(events)
+    for original, restored in zip(events, from_csv):
+        assert restored.time == original.time
+        assert restored.name == original.name
+        # CSV stringifies values; numeric fields must coerce back exactly.
+        assert set(restored.fields) == set(original.fields), original.name
+        for key, value in original.fields.items():
+            if isinstance(value, (int, float)):
+                assert restored.fields[key] == value, (original.name, key)

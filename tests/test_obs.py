@@ -9,7 +9,17 @@ import pytest
 from repro import NULL_BUS, TraceBus, TraceEvent, run_session
 from repro.metrics import export
 from repro.metrics.export import log_to_dict, summary_to_dict
-from repro.obs import EVENT_CATALOGUE, EVENT_NAMES, subsystem_of
+from repro.obs import (
+    EVENT_CATALOGUE,
+    EVENT_NAMES,
+    METRIC_CATALOGUE,
+    METRIC_KINDS,
+    METRIC_NAMES,
+    NULL_METER,
+    SPAN_CATALOGUE,
+    SPAN_NAMES,
+    subsystem_of,
+)
 from repro.obs.bus import NullTraceBus
 from repro.telephony.session import TelephonySession
 from repro.traces.scenarios import scenario
@@ -179,6 +189,37 @@ def test_tracing_changes_no_metric_and_no_rng_draw():
         assert state_plain == state_traced, f"stream {name!r} diverged"
 
 
+def test_metering_changes_no_metric_and_no_rng_draw():
+    config = _short_cellular()
+    plain = TelephonySession(config)
+    metered = TelephonySession(config, meter=True)
+    result_plain = plain.run(duration=3.0, warmup=1.0)
+    result_metered = metered.run(duration=3.0, warmup=1.0)
+    assert json.dumps(
+        summary_to_dict(result_plain.summary), sort_keys=True
+    ) == json.dumps(summary_to_dict(result_metered.summary), sort_keys=True)
+    assert json.dumps(log_to_dict(result_plain.log), sort_keys=True) == json.dumps(
+        log_to_dict(result_metered.log), sort_keys=True
+    )
+    # Metering may not consume (or add) a single RNG draw anywhere.
+    for name in ("forward", "reverse", "content", "encoder", "head", "receiver"):
+        state_plain = plain.rng.stream(name).bit_generator.state
+        state_metered = metered.rng.stream(name).bit_generator.state
+        assert state_plain == state_metered, f"stream {name!r} diverged"
+    # The metered run actually recorded activity.
+    counters = result_metered.meter.metrics.counters
+    assert counters["session.runs"] == 1
+    assert counters["sender.frames"] > 0
+
+
+def test_unmetered_session_uses_null_meter():
+    session = TelephonySession(_short_cellular())
+    assert session.meter is NULL_METER
+    assert session.sim.meter is NULL_METER
+    result = session.run(duration=1.0)
+    assert result.meter is None
+
+
 def test_warmup_event_emitted():
     result = run_session(_short_cellular(), duration=2.0, warmup=1.0, trace=True)
     marks = list(result.trace.select(names="session.warmup_done"))
@@ -248,3 +289,41 @@ def test_traced_fields_match_catalogue(traced_result):
     for event in traced_result.trace.events:
         spec = EVENT_CATALOGUE[event.name]
         assert set(event.fields) == set(spec.fields), event.name
+
+
+def test_metric_catalogue_is_complete_and_consistent():
+    assert set(METRIC_NAMES) == set(METRIC_CATALOGUE)
+    for name, spec in METRIC_CATALOGUE.items():
+        assert spec.name == name
+        assert spec.kind in METRIC_KINDS
+        assert spec.subsystem
+        assert spec.site.startswith("repro.")
+        assert spec.description
+        if spec.kind == "histogram":
+            bounds = list(spec.buckets)
+            assert bounds, f"{name}: histogram without buckets"
+            assert bounds == sorted(bounds) and len(set(bounds)) == len(bounds)
+        else:
+            assert spec.buckets == (), f"{name}: buckets on a {spec.kind}"
+
+
+def test_span_catalogue_is_complete_and_consistent():
+    assert set(SPAN_NAMES) == set(SPAN_CATALOGUE)
+    for name, spec in SPAN_CATALOGUE.items():
+        assert spec.name == name
+        assert spec.subsystem
+        assert spec.site.startswith("repro.")
+        assert spec.description
+
+
+def test_observability_doc_mentions_every_metric_and_span():
+    from pathlib import Path
+
+    doc = Path(__file__).resolve().parent.parent / "docs" / "OBSERVABILITY.md"
+    text = doc.read_text()
+    missing = [
+        name
+        for name in (*METRIC_NAMES, *SPAN_NAMES)
+        if f"`{name}`" not in text
+    ]
+    assert not missing, f"docs/OBSERVABILITY.md is missing metrics/spans: {missing}"
