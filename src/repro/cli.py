@@ -320,6 +320,7 @@ def cmd_perf(args) -> int:
         warmup=args.warmup,
         jobs=args.jobs,
         output=args.output,
+        batch=args.batch,
     )
     print(json.dumps(record, indent=1))
     return 0
@@ -463,6 +464,12 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=4,
         help="worker count for the parallel leg (0 = all cores)",
+    )
+    perf_parser.add_argument(
+        "--batch",
+        action="store_true",
+        help="also bench the batched lockstep engine (cohort throughput "
+        "vs the serial engine)",
     )
     perf_parser.add_argument("--output", metavar="FILE.json", default="BENCH_perf.json")
     perf_parser.set_defaults(func=cmd_perf)

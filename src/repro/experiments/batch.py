@@ -1,0 +1,164 @@
+"""Lockstep-cohort execution of experiment sweeps.
+
+The batched engine (:mod:`repro.sim.batch`) advances a *homogeneous*
+cohort of sessions on the shared 1 ms grid — homogeneous meaning every
+session shares the same tick cadences (channel/cell/diag/frame/encode/
+pacer intervals, BSR depth, …; see
+:meth:`repro.telephony.uplink.UplinkProfile.signature`).  A sweep grid
+is rarely homogeneous as a whole, but its conditions usually are: the
+parameters being swept (RSS, speed, cell load, seeds, target buffers)
+are exactly the ones a cohort may vary per session.
+
+:class:`BatchRunner` is the bridge: it groups a flat config list by
+lockstep signature, slices each group into cohorts of at most
+``max_cohort`` sessions, runs each cohort through
+:func:`repro.sim.batch.run_batched`, and returns results **in input
+order**.  Cohorts — not sessions — are the unit of process-pool
+fan-out, so the runner *composes with* the existing pool
+(:mod:`repro.experiments.parallel`): workers each advance a whole
+cohort in lockstep, multiplying the two speedups.
+
+Configs the lockstep grid cannot express (non-LTE access, explicit
+competitor UEs, the sweet-spot learner, off-grid cadences) are reported
+by :func:`repro.telephony.uplink.batch_unsupported_reason`; the runner
+either raises (default) or routes them one-by-one through the serial
+event engine, controlled by ``on_unsupported``.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.config import SessionConfig
+from repro.experiments.parallel import resolve_jobs
+from repro.telephony.session import SessionResult
+from repro.telephony.uplink import UplinkProfile, batch_unsupported_reason
+
+
+def plan_cohorts(
+    configs: Sequence[SessionConfig], max_cohort: int = 64
+) -> List[List[int]]:
+    """Group config positions into lockstep cohorts.
+
+    Returns lists of indices into ``configs``; every index appears in
+    exactly one cohort, each cohort is signature-homogeneous (same tick
+    cadences and duration) and at most ``max_cohort`` long.  Input
+    order is preserved inside each cohort, so seeds and RNG streams are
+    untouched by the slicing.
+    """
+    if max_cohort < 1:
+        raise ValueError("max_cohort must be >= 1")
+    groups: Dict[Tuple, List[int]] = {}
+    for position, config in enumerate(configs):
+        key = (UplinkProfile.from_config(config).signature(), config.duration)
+        groups.setdefault(key, []).append(position)
+    cohorts: List[List[int]] = []
+    for indices in groups.values():
+        for start in range(0, len(indices), max_cohort):
+            cohorts.append(indices[start : start + max_cohort])
+    return cohorts
+
+
+def _run_cohort(payload) -> List[SessionResult]:
+    """Worker entry point: run one cohort (pickles across processes)."""
+    configs, warmup = payload
+    from repro.sim.batch import run_batched
+
+    return run_batched(configs, warmup=warmup)
+
+
+class BatchRunner:
+    """Run a sweep's sessions as lockstep cohorts, optionally pooled.
+
+    Parameters
+    ----------
+    max_cohort:
+        Upper bound on sessions advanced together.  Larger cohorts
+        amortise the per-tick vector dispatch over more sessions (the
+        dominant win); the default suits sweep-sized groups.
+    jobs:
+        Process-pool width for cohort fan-out, resolved exactly like
+        :func:`repro.experiments.parallel.resolve_jobs`.  Cohorts are
+        the fan-out unit; with one cohort (or one core) the runner
+        stays serial.
+    on_unsupported:
+        ``"raise"`` (default) fails fast on configs outside the
+        lockstep grid; ``"serial"`` routes them one-by-one through the
+        full event-driven engine instead (different session model —
+        results for those positions are *not* lockstep-comparable).
+    """
+
+    def __init__(
+        self,
+        max_cohort: int = 64,
+        jobs: Optional[int] = None,
+        on_unsupported: str = "raise",
+    ):
+        if on_unsupported not in ("raise", "serial"):
+            raise ValueError("on_unsupported must be 'raise' or 'serial'")
+        self.max_cohort = max_cohort
+        self.jobs = jobs
+        self.on_unsupported = on_unsupported
+
+    def run(
+        self, configs: Sequence[SessionConfig], warmup: float = 0.0
+    ) -> List[SessionResult]:
+        """Run every config; results come back in input order."""
+        configs = list(configs)
+        supported: List[int] = []
+        fallback: List[int] = []
+        for position, config in enumerate(configs):
+            reason = batch_unsupported_reason(config)
+            if reason is None:
+                supported.append(position)
+            elif self.on_unsupported == "raise":
+                raise ValueError(
+                    f"config {position} cannot run in lockstep: {reason}"
+                )
+            else:
+                fallback.append(position)
+        cohorts = plan_cohorts(
+            [configs[i] for i in supported], self.max_cohort
+        )
+        # plan_cohorts indexed the supported sublist; map back to the
+        # caller's positions.
+        cohorts = [[supported[i] for i in cohort] for cohort in cohorts]
+        payloads = [
+            ([configs[i] for i in cohort], warmup) for cohort in cohorts
+        ]
+        results: List[Optional[SessionResult]] = [None] * len(configs)
+        workers = resolve_jobs(self.jobs)
+        serial = (
+            workers <= 1
+            or len(payloads) <= 1
+            or (os.cpu_count() or 1) == 1
+            or len(payloads) < workers
+        )
+        if serial:
+            cohort_results = [_run_cohort(payload) for payload in payloads]
+        else:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                cohort_results = list(pool.map(_run_cohort, payloads))
+        for cohort, batch in zip(cohorts, cohort_results):
+            for position, result in zip(cohort, batch):
+                results[position] = result
+        if fallback:
+            from repro.telephony.session import run_session
+
+            for position in fallback:
+                results[position] = run_session(
+                    configs[position], warmup=warmup
+                )
+        return results  # type: ignore[return-value]
+
+
+def run_batched_sessions(
+    configs: Sequence[SessionConfig],
+    warmup: float = 0.0,
+    max_cohort: int = 64,
+    jobs: Optional[int] = None,
+) -> List[SessionResult]:
+    """One-call convenience wrapper around :class:`BatchRunner`."""
+    return BatchRunner(max_cohort=max_cohort, jobs=jobs).run(configs, warmup)

@@ -198,23 +198,114 @@ def run_kernel_benches() -> dict:
     }
 
 
+# ----------------------------------------------------------------------
+# Batched lockstep engine (repro.sim.batch)
+# ----------------------------------------------------------------------
+
+
+def _lockstep_config(seed: int, duration: float):
+    """One cellular uplink config on the lockstep grid (25 fps)."""
+    from dataclasses import replace
+
+    from repro.config import SessionConfig
+
+    config = SessionConfig()
+    return replace(
+        config,
+        seed=seed,
+        duration=duration,
+        lte=replace(
+            config.lte,
+            channel=replace(config.lte.channel, rss_dbm=-82.0, speed_mph=8.0),
+        ),
+        video=replace(config.video, fps=25.0),
+    )
+
+
+def bench_batched_sessions(
+    duration: float = 5.0,
+    cohorts: tuple = (1, 8, 64, 1024, 2048),
+    serial_sessions: int = 4,
+    repeats: int = 2,
+) -> dict:
+    """Lockstep cohort throughput vs the serial reference engine.
+
+    Both sides run the *same* uplink workload: the serial leg drives
+    one :class:`repro.telephony.uplink.UplinkSession` per seed through
+    the event engine's per-tick dispatch; the batched legs advance
+    whole cohorts per tick through :class:`repro.sim.batch.
+    BatchedSimulation` (bit-identical results, see tests/test_batch.py).
+    The tracked signal is ``sessions_per_sec`` — aggregate simulated
+    session-seconds per wall-clock second — and the headline
+    ``speedup`` is the largest cohort's rate over the serial rate.
+    Serial and batched legs are each best-of-``repeats`` so a noisy
+    neighbour on a CI box skews the ratio as little as possible.
+    """
+    import gc
+
+    from repro.sim.batch import run_batched
+    from repro.telephony.uplink import run_uplink_session
+
+    def serial_leg() -> None:
+        for seed in range(serial_sessions):
+            run_uplink_session(_lockstep_config(seed + 1, duration))
+
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        serial_s = _best_of(repeats, serial_leg)
+        serial_rate = serial_sessions * duration / serial_s
+        cohort_entries = {}
+        for n in cohorts:
+            configs = [_lockstep_config(seed + 1, duration) for seed in range(n)]
+            gc.collect()
+            elapsed = _best_of(repeats, run_batched, configs)
+            rate = n * duration / elapsed
+            cohort_entries[str(n)] = {
+                "run_s": round(elapsed, 4),
+                "sessions_per_sec": round(rate, 1),
+                "speedup": round(rate / serial_rate, 3),
+            }
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    headline = cohort_entries[str(max(cohorts))]
+    return {
+        "profile": "cellular uplink lockstep grid (25 fps)",
+        "session_duration_s": duration,
+        "serial_sessions": serial_sessions,
+        "serial_engine_s_per_session": round(serial_s / serial_sessions, 4),
+        "serial_sessions_per_sec": round(serial_rate, 1),
+        "cohorts": cohort_entries,
+        "batched_sessions_per_sec": headline["sessions_per_sec"],
+        "batched_speedup": headline["speedup"],
+    }
+
+
 def run_perf_bench(
     duration: float = 30.0,
     warmup: float = 10.0,
     jobs: Optional[int] = 4,
     output: Optional[str] = "BENCH_perf.json",
+    batch: bool = False,
 ) -> dict:
     """Run every leg and (optionally) write the JSON record."""
     workers = resolve_jobs(jobs if jobs else 0)
     settings = ExperimentSettings(
         duration=duration, warmup=warmup, repetitions=1, num_users=2
     )
+    # On a single-CPU machine a process pool cannot win: the "speedup"
+    # it would record is scheduler noise (0.99x in one committed
+    # record), not signal, so the parallel leg is skipped outright.
+    cpu_count = os.cpu_count() or 1
+    run_parallel_leg = cpu_count > 1 and workers > 1
     result_cache.set_cache_enabled(False)
     try:
         kernels = run_kernel_benches()
         single = min(_time_single_session(duration, warmup) for _ in range(3))
         serial = _time_grid(settings, jobs=1)
-        parallel = _time_grid(settings, jobs=workers)
+        parallel = _time_grid(settings, jobs=workers) if run_parallel_leg else None
+        batched = bench_batched_sessions() if batch else None
     finally:
         result_cache.set_cache_enabled(None)
     record = {
@@ -226,9 +317,16 @@ def run_perf_bench(
         "single_session_s": round(single, 4),
         "micro_grid_serial_s": round(serial, 4),
         "parallel_jobs": workers,
-        "micro_grid_parallel_s": round(parallel, 4),
-        "parallel_speedup": round(serial / parallel, 3) if parallel > 0 else None,
+        "micro_grid_parallel_s": round(parallel, 4) if parallel else None,
+        "parallel_speedup": round(serial / parallel, 3) if parallel else None,
+        "parallel_note": (
+            None
+            if run_parallel_leg
+            else f"skipped: cpu_count={cpu_count}, workers={workers} "
+            "(a pool cannot win; the ratio would be scheduler noise)"
+        ),
         "kernels": kernels,
+        "batch": batched,
         "seed_baseline": SEED_BASELINE,
         "single_session_vs_seed": round(
             SEED_BASELINE["single_session_s"] / single, 3

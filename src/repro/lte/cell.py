@@ -49,3 +49,71 @@ class CellLoadProcess:
     def load(self) -> float:
         """Instantaneous background-load fraction (cached per update)."""
         return self._load
+
+
+# ----------------------------------------------------------------------
+# Lockstep twins (batched engine, repro.sim.batch)
+# ----------------------------------------------------------------------
+
+
+class GridCellLoad:
+    """Grid-scalar twin of :class:`CellLoadProcess`.
+
+    Same clamped Gauss-Markov dynamics, but the innovation normals come
+    from a block-transformed stream (:mod:`repro.sim.blocks`) and the
+    caller drives the updates on the lockstep grid, so the batched
+    :class:`CellLoadArray` reproduces it bit-for-bit.
+    """
+
+    __slots__ = ("_background", "_decay", "_innovation", "_z", "_deviation", "load")
+
+    def __init__(self, config: CellConfig, stream, block: int = 1024):
+        from repro.sim.blocks import BlockStream, normal_transform
+
+        self._background = config.background_load
+        self._decay = math.exp(-UPDATE_INTERVAL / config.load_corr_time)
+        self._innovation = config.load_sigma * math.sqrt(
+            max(0.0, 1.0 - self._decay * self._decay)
+        )
+        self._z = BlockStream(stream("cell.z"), normal_transform(), block)
+        self._deviation = 0.0
+        self.load = min(LOAD_MAX, max(LOAD_MIN, config.background_load))
+
+    def update(self) -> None:
+        self._deviation = self._deviation * self._decay + self._innovation * self._z.next()
+        value = self._background + self._deviation
+        self.load = min(LOAD_MAX, max(LOAD_MIN, value))
+
+
+class CellLoadArray:
+    """``(n_sessions,)`` vectorised twin of :class:`GridCellLoad`."""
+
+    def __init__(self, configs, streams, block: int = 1024):
+        from repro.sim.blocks import BlockStreamArray, normal_transform
+
+        n = len(configs)
+        self._background = np.array([c.background_load for c in configs])
+        decay = np.array(
+            [math.exp(-UPDATE_INTERVAL / c.load_corr_time) for c in configs]
+        )
+        self._decay = decay
+        self._innovation = np.array(
+            [
+                c.load_sigma * math.sqrt(max(0.0, 1.0 - d * d))
+                for c, d in zip(configs, decay.tolist())
+            ]
+        )
+        self._z = BlockStreamArray(
+            [streams[s]("cell.z") for s in range(n)],
+            [normal_transform()] * n,
+            block,
+            aligned=True,
+        )
+        self._deviation = np.zeros(n)
+        self.load = np.minimum(LOAD_MAX, np.maximum(LOAD_MIN, self._background))
+
+    def update(self) -> None:
+        z = self._z.take_all()
+        self._deviation = self._deviation * self._decay + self._innovation * z
+        value = self._background + self._deviation
+        self.load = np.minimum(LOAD_MAX, np.maximum(LOAD_MIN, value))

@@ -26,7 +26,11 @@ import numpy as np
 from repro.config import LteConfig
 from repro.lte.cell import CellLoadProcess
 from repro.lte.channel import ChannelProcess
-from repro.lte.tbs import transport_block_bytes
+from repro.lte.tbs import (
+    BYTES_PER_PRB_TABLE,
+    transport_block_bytes,
+    transport_block_bytes_array,
+)
 
 #: A near-empty buffer is still scheduled occasionally (scheduling
 #: request path); this floor bounds the queue-head wait for tiny sends.
@@ -38,6 +42,10 @@ MAX_IDLE_SUBFRAMES = 28
 
 #: Batch size of pre-drawn uniforms (one per subframe decision).
 _BATCH = 4096
+
+#: Shared empty results for subframes that serve nobody.
+_EMPTY_ROWS = np.empty(0, dtype=np.int64)
+_EMPTY_GRANTS = np.empty(0, dtype=np.float64)
 
 
 class EnbScheduler:
@@ -131,3 +139,192 @@ class EnbScheduler:
         capacity = transport_block_bytes(cqi, self.effective_prbs(load))
         probability = self._config.p_max * (1.0 - load)
         return probability * capacity * 8.0 * 1000.0
+
+
+# ----------------------------------------------------------------------
+# Lockstep twins (batched engine, repro.sim.batch)
+# ----------------------------------------------------------------------
+
+
+class GridScheduler:
+    """Grid-scalar twin of :class:`EnbScheduler`.
+
+    Identical grant arithmetic and burst/idle service process, but the
+    two variates — the geometric burst draw and the per-grant lognormal
+    fast fading — come from block-transformed streams
+    (:mod:`repro.sim.blocks`), pre-applying ``-log`` / ``exp`` to whole
+    blocks so the batched :class:`SchedulerArray` consumes the exact
+    same float64 values.  CQI and cell load are passed in by the caller
+    (the lockstep engines own those processes).
+    """
+
+    __slots__ = (
+        "_p_max", "_backlog_ref", "_prb_quota", "_mean_burst",
+        "_burst", "_fading", "_burst_left", "_idle_left",
+    )
+
+    def __init__(self, config: LteConfig, stream, block: int = 1024):
+        from repro.sim.blocks import (
+            BlockStream,
+            lognormal_transform,
+            neglog_uniform_transform,
+        )
+
+        self._p_max = config.p_max
+        self._backlog_ref = config.pf_backlog_ref
+        self._prb_quota = config.prb_quota
+        self._mean_burst = config.scheduling_burst_subframes
+        speed = max(0.0, config.channel.speed_mph)
+        sigma = 0.10 + speed / 300.0
+        self._burst = BlockStream(stream("sched.burst"), neglog_uniform_transform(), block)
+        self._fading = BlockStream(stream("sched.fading"), lognormal_transform(sigma), block)
+        self._burst_left = 0
+        self._idle_left = 0
+
+    def grant_for_subframe(
+        self, reported: float, actual: float, cqi: int, load: float
+    ) -> float:
+        """Transport block size (bytes) granted this subframe (0 = none)."""
+        if reported <= 0.0:
+            return 0.0
+        if cqi <= 0:
+            return 0.0
+        backlog_fraction = min(1.0, reported / self._backlog_ref)
+        probability = (
+            self._p_max * (1.0 - load) * max(MIN_SCHEDULING_FRACTION, backlog_fraction)
+        )
+        if not self._in_service_burst(probability):
+            return 0.0
+        prbs = max(2, int(round(self._prb_quota * (2.0 - load))))
+        capacity = transport_block_bytes(cqi, prbs)
+        fading = self._fading.next()
+        return min(actual, capacity * fading)
+
+    def _in_service_burst(self, duty_cycle: float) -> bool:
+        if self._burst_left > 0:
+            self._burst_left -= 1
+            return True
+        if self._idle_left > 0:
+            self._idle_left -= 1
+            return False
+        duty = min(1.0, max(1e-3, duty_cycle))
+        burst = 1 + int(self._mean_burst * self._burst.next())
+        idle = min(MAX_IDLE_SUBFRAMES, int(round(burst * (1.0 - duty) / duty)))
+        self._burst_left = burst - 1  # this subframe is the burst's first
+        self._idle_left = idle
+        return True
+
+
+class SchedulerArray:
+    """``(n_sessions,)`` vectorised twin of :class:`GridScheduler`.
+
+    The burst/idle counters live as int64 arrays; a subframe only
+    consumes a burst draw (and a fading draw) for the sessions whose
+    scalar twin would, so the per-session stream cursors stay aligned.
+    """
+
+    def __init__(self, configs, streams, block: int = 1024):
+        from repro.sim.blocks import (
+            BlockStreamArray,
+            lognormal_transform,
+            neglog_uniform_transform,
+        )
+
+        n = len(configs)
+        self._p_max = np.array([c.p_max for c in configs])
+        self._backlog_ref = np.array([c.pf_backlog_ref for c in configs])
+        self._prb_quota = np.array([c.prb_quota for c in configs], dtype=np.float64)
+        self._mean_burst = np.array([c.scheduling_burst_subframes for c in configs])
+        sigmas = [0.10 + max(0.0, c.channel.speed_mph) / 300.0 for c in configs]
+        self._burst_u = BlockStreamArray(
+            [streams[s]("sched.burst") for s in range(n)],
+            [neglog_uniform_transform()] * n,
+            block,
+        )
+        self._fading = BlockStreamArray(
+            [streams[s]("sched.fading") for s in range(n)],
+            [lognormal_transform(sigma) for sigma in sigmas],
+            block,
+        )
+        self._burst_left = np.zeros(n, dtype=np.int64)
+        self._idle_left = np.zeros(n, dtype=np.int64)
+        # Scratch buffers for the per-subframe boolean masks: the hot
+        # path runs every 1 ms, so the handful of temporaries it needs
+        # are preallocated and reused instead of reallocated per call.
+        self._scratch_e = np.zeros(n, dtype=bool)
+        self._scratch_b = np.zeros(n, dtype=bool)
+        self._scratch_i = np.zeros(n, dtype=bool)
+
+    def serve_subframe(
+        self,
+        reported: np.ndarray,
+        actual: np.ndarray,
+        cqi: np.ndarray,
+        cqi_positive: np.ndarray,
+        load: np.ndarray,
+    ):
+        """Served-session indices and their grant bytes this subframe.
+
+        The hot-path form: returns ``(rows, grants)`` with one entry per
+        *served* session instead of a dense ``(n,)`` vector, and keeps
+        the burst/idle counter updates as whole-array boolean arithmetic
+        (a bool subtracts as 0/1) rather than fancy-indexed writes.
+        """
+        eligible = np.greater(reported, 0.0, out=self._scratch_e)
+        eligible &= cqi_positive
+        if not eligible.any():
+            return _EMPTY_ROWS, _EMPTY_GRANTS
+        # Burst/idle service process, advanced only for eligible sessions.
+        # ``eligible ^ in_burst`` == ``eligible & ~in_burst`` because
+        # in_burst is a subset of eligible (one op, reusing the buffer).
+        in_burst = np.greater(self._burst_left, 0, out=self._scratch_b)
+        in_burst &= eligible
+        np.subtract(self._burst_left, in_burst, out=self._burst_left)
+        in_idle = np.greater(self._idle_left, 0, out=self._scratch_i)
+        rest = np.bitwise_xor(eligible, in_burst, out=self._scratch_e)
+        in_idle &= rest
+        np.subtract(self._idle_left, in_idle, out=self._idle_left)
+        draw_mask = np.bitwise_xor(rest, in_idle, out=self._scratch_e)
+        if draw_mask.any():
+            draw = np.nonzero(draw_mask)[0]
+            duty_cycle = (
+                self._p_max[draw]
+                * (1.0 - load[draw])
+                * np.maximum(
+                    MIN_SCHEDULING_FRACTION,
+                    np.minimum(1.0, reported[draw] / self._backlog_ref[draw]),
+                )
+            )
+            duty = np.minimum(1.0, np.maximum(1e-3, duty_cycle))
+            burst = 1 + (self._mean_burst[draw] * self._burst_u.take(draw)).astype(
+                np.int64
+            )
+            idle = np.minimum(
+                MAX_IDLE_SUBFRAMES,
+                np.rint(burst * (1.0 - duty) / duty).astype(np.int64),
+            )
+            self._burst_left[draw] = burst - 1
+            self._idle_left[draw] = idle
+            in_burst |= draw_mask  # a fresh draw's first subframe serves
+        rows = np.nonzero(in_burst)[0]
+        if not rows.size:
+            return _EMPTY_ROWS, _EMPTY_GRANTS
+        prbs = np.maximum(2.0, np.rint(self._prb_quota[rows] * (2.0 - load[rows])))
+        capacity = BYTES_PER_PRB_TABLE[cqi[rows]] * prbs
+        fading = self._fading.take(rows)
+        grants = np.minimum(actual[rows], capacity * fading)
+        return rows, grants
+
+    def grants_for_subframe(
+        self,
+        reported: np.ndarray,
+        actual: np.ndarray,
+        cqi: np.ndarray,
+        load: np.ndarray,
+    ) -> np.ndarray:
+        """Per-session grant bytes for this subframe (0 = not scheduled)."""
+        grants = np.zeros(reported.shape[0])
+        rows, values = self.serve_subframe(reported, actual, cqi, cqi > 0, load)
+        if rows.size:
+            grants[rows] = values
+        return grants

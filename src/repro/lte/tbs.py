@@ -10,6 +10,8 @@ bandwidths its Fig. 17c/d behaviour implies (≈1 / ≈4 / ≈5.5 Mbps).
 
 from __future__ import annotations
 
+import numpy as np
+
 #: Spectral efficiency (information bits per resource element) for CQI
 #: indices 1..15, per 3GPP TS 36.213 Table 7.2.3-1.
 CQI_EFFICIENCY = (
@@ -84,3 +86,29 @@ def transport_block_bytes(cqi: int, prbs: int) -> float:
     if prbs <= 0:
         return 0.0
     return bytes_per_prb(cqi) * prbs
+
+
+# ----------------------------------------------------------------------
+# Array twins (batched lockstep engine, repro.sim.batch)
+# ----------------------------------------------------------------------
+
+#: ``bytes_per_prb`` indexed directly by CQI 0..15 — index 0 (handover
+#: outage) maps to 0.0, so a clipped gather replaces the scalar branch.
+BYTES_PER_PRB_TABLE = np.array((0.0,) + _BYTES_PER_PRB, dtype=np.float64)
+
+
+def cqi_from_rss_array(rss_dbm: np.ndarray) -> np.ndarray:
+    """:func:`cqi_from_rss` over an array of RSS values.
+
+    Pure affine arithmetic plus half-even rounding, so every element is
+    bit-identical to the scalar mapping (``round`` and ``np.rint`` both
+    round half to even).
+    """
+    cqi = RSS_CQI_BASE + (rss_dbm - RSS_CQI_ANCHOR) / RSS_DB_PER_CQI
+    return np.clip(np.rint(cqi), 1, 15).astype(np.int64)
+
+
+def transport_block_bytes_array(cqi: np.ndarray, prbs: np.ndarray) -> np.ndarray:
+    """:func:`transport_block_bytes` over arrays (CQI <= 0 -> 0 bytes)."""
+    capacity = BYTES_PER_PRB_TABLE[np.clip(cqi, 0, 15)]
+    return capacity * prbs

@@ -134,3 +134,74 @@ class UeUplink:
         # Keep ticking while any in-flight BSR slot or the buffer itself
         # is non-zero; otherwise pause until the next send() wakes us.
         return bool(level) or any(ring)
+
+
+# ----------------------------------------------------------------------
+# Lockstep twin (batched engine, repro.sim.batch)
+# ----------------------------------------------------------------------
+
+#: Shared empty completions list for subframes that serve nobody.
+_NO_ROUNDS: list = []
+
+
+class UeUplinkArray:
+    """``(n_sessions,)`` vectorised twin of :class:`UeUplink`.
+
+    Owns the per-session channel, cell-load, scheduler and firmware
+    buffer arrays, plus the BSR delay ring.  The lockstep engine drives
+    the cadenced processes (channel / cell updates) and calls
+    :meth:`subframe` once per 1 ms tick; packet delivery latency is the
+    engine's job (it knows the whole downstream path).
+    """
+
+    def __init__(self, configs, streams, block: int = 1024):
+        from repro.lte.cell import CellLoadArray
+        from repro.lte.channel import ChannelArray
+        from repro.lte.firmware_buffer import FirmwareBufferArray
+        from repro.lte.scheduler import SchedulerArray
+
+        n = len(configs)
+        self.channel = ChannelArray([c.channel for c in configs], streams, block)
+        self.cell = CellLoadArray([c.cell for c in configs], streams, block)
+        self.scheduler = SchedulerArray(configs, streams, block)
+        self.buffer = FirmwareBufferArray(
+            np.array([c.firmware_buffer_cap for c in configs])
+        )
+        depths = {
+            max(1, int(round(c.bsr_delay / LTE_SUBFRAME))) for c in configs
+        }
+        if len(depths) != 1:
+            raise ValueError("BSR delay must be cohort-homogeneous")
+        self._bsr_depth = depths.pop()
+        self._bsr_ring = np.zeros((n, self._bsr_depth))
+        self._bsr_pos = 0
+        self.bytes_sent = np.zeros(n)
+        self._zero_tbs = np.zeros(n)
+
+    def subframe(self, now: float):
+        """One 1 ms subframe for every session.
+
+        Returns ``(tbs, rounds)`` where ``rounds`` is the (possibly
+        empty) list of :meth:`FirmwareBufferArray.drain_rows` completion
+        rounds and ``tbs`` the per-session bytes granted this subframe
+        (a shared zeros array when nobody was served — read-only).
+        Post-drain levels are ``self.buffer.level``.
+        """
+        ring = self._bsr_ring
+        pos = self._bsr_pos
+        reported = ring[:, pos].copy()
+        level_before = ring[:, pos]
+        np.copyto(level_before, self.buffer.level)
+        self._bsr_pos = pos + 1 if pos + 1 < self._bsr_depth else 0
+        cqi_positive, cqi = self.channel.cqi_state(now)
+        rows, grants = self.scheduler.serve_subframe(
+            reported, self.buffer.level, cqi, cqi_positive, self.cell.load
+        )
+        if rows.size:
+            rounds = self.buffer.drain_rows(rows, grants)
+            tbs = level_before - self.buffer.level
+            self.bytes_sent += tbs
+        else:
+            rounds = _NO_ROUNDS
+            tbs = self._zero_tbs
+        return tbs, rounds

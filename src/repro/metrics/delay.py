@@ -27,11 +27,14 @@ class DelayStats:
         if not len(delays):
             return DelayStats(float("nan"), float("nan"), float("nan"), float("nan"), 0)
         array = np.asarray(delays, dtype=float)
+        # One partition serves both tail percentiles; each value equals
+        # the single-q call bit-for-bit (same virtual index, same lerp).
+        p90, p99 = np.percentile(array, (90.0, 99.0)).tolist()
         return DelayStats(
             mean=float(array.mean()),
             median=float(np.median(array)),
-            p90=float(np.percentile(array, 90)),
-            p99=float(np.percentile(array, 99)),
+            p90=p90,
+            p99=p99,
             count=int(array.size),
         )
 

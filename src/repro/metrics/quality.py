@@ -12,7 +12,12 @@ from typing import Dict, Sequence
 
 import numpy as np
 
-from repro.video.quality import MOS_ORDER, mos_band
+from repro.video.quality import MOS_BANDS, MOS_ORDER
+
+#: Ascending strict-lower band edges (drop "bad"'s -inf); a PSNR's band
+#: index in ``MOS_ORDER`` is the number of edges strictly below it,
+#: which is exactly ``searchsorted(..., side="left")``.
+_MOS_EDGES = np.asarray([lower for _, lower in MOS_BANDS[:-1]][::-1])
 
 
 @dataclass(frozen=True)
@@ -29,10 +34,12 @@ class QualityStats:
         if not len(psnrs):
             return QualityStats(float("nan"), float("nan"), {b: 0.0 for b in MOS_ORDER}, 0)
         array = np.asarray(psnrs, dtype=float)
-        counts = {band: 0 for band in MOS_ORDER}
-        for value in array:
-            counts[mos_band(float(value))] += 1
-        pdf = {band: counts[band] / array.size for band in MOS_ORDER}
+        band_index = np.searchsorted(_MOS_EDGES, array, side="left")
+        # NaN fails every ``psnr > lower`` test in the scalar mos_band
+        # and lands in "bad"; searchsorted would sort it past the end.
+        band_index[np.isnan(array)] = 0
+        counts = np.bincount(band_index, minlength=len(MOS_ORDER)).tolist()
+        pdf = {band: counts[i] / array.size for i, band in enumerate(MOS_ORDER)}
         return QualityStats(
             mean_psnr=float(array.mean()),
             std_psnr=float(array.std()),

@@ -23,14 +23,35 @@ def stability_series(
     >>> stability_series([(0.0, 1.0), (1.0, 1.0), (2.0, 1.0)])
     [0.0]
     """
-    if not samples:
+    if not len(samples):
         return []
-    times = np.asarray([t for t, _ in samples], dtype=float)
-    levels = np.asarray([v for _, v in samples], dtype=float)
+    pairs = np.asarray(samples, dtype=float)
+    times = pairs[:, 0]
+    levels = pairs[:, 1]
     stds: List[float] = []
-    start = times[0]
     end = times[-1]
-    window_start = start
+    # Display times arrive sorted, so each window is a contiguous slice
+    # found by bisection; ``std`` over the slice equals ``std`` over the
+    # boolean-mask copy bit-for-bit (same values, same order). Unsorted
+    # input keeps the mask path.
+    is_sorted = times.size < 2 or bool((times[1:] >= times[:-1]).all())
+    if is_sorted:
+        # One bisection call for every window bound; the float-
+        # accumulated window starts are built by the same repeated
+        # addition as the loop below.
+        edges: List[float] = []
+        window_start = float(times[0])
+        while window_start + window_s <= end + 1e-9:
+            edges.append(window_start)
+            edges.append(window_start + window_s)
+            window_start += step_s
+        bounds = np.searchsorted(times, edges, side="left").tolist()
+        for i in range(0, len(bounds), 2):
+            lo, hi = bounds[i], bounds[i + 1]
+            if hi - lo >= 2:
+                stds.append(float(levels[lo:hi].std()))
+        return stds
+    window_start = times[0]
     while window_start + window_s <= end + 1e-9:
         mask = (times >= window_start) & (times < window_start + window_s)
         if mask.sum() >= 2:

@@ -26,7 +26,10 @@ class SessionLog:
     display_times: List[float] = field(default_factory=list)
     #: (display time, compression level at the viewer's ROI centre).
     roi_levels: List[Tuple[float, float]] = field(default_factory=list)
-    #: (arrival time, bytes) of received media packets.
+    #: (arrival time, bytes) of received media packets.  The scalar
+    #: engine appends tuples; the batched engine swaps in an ``(m, 2)``
+    #: float64 array holding the same rows (see
+    #: ``BatchedSimulation._materialise_arrivals``).
     arrivals: List[Tuple[float, float]] = field(default_factory=list)
     #: Frame-level mismatch time samples (s).
     mismatches: List[float] = field(default_factory=list)
@@ -52,7 +55,7 @@ class SessionLog:
         self.roi_psnrs.clear()
         self.display_times.clear()
         self.roi_levels.clear()
-        self.arrivals.clear()
+        self.arrivals = []
         self.mismatches.clear()
         self.buffer_levels.clear()
         self.diag_seconds.clear()
@@ -111,7 +114,14 @@ class SessionSummary:
         duration: float,
         freeze_threshold: float = 0.6,
     ) -> "SessionSummary":
-        arrivals = [(t - log.start_time, size) for t, size in log.arrivals]
+        if len(log.arrivals):
+            # (t - start, size) pairs, shifted as one vector op — the
+            # elementwise float64 subtraction matches the scalar one.
+            # np.array copies, so an ndarray-backed log stays unshifted.
+            arrivals = np.array(log.arrivals, dtype=np.float64)
+            arrivals[:, 0] -= log.start_time
+        else:
+            arrivals = []
         series = per_second_series(arrivals, duration)
         return SessionSummary(
             scheme=scheme,
@@ -124,7 +134,11 @@ class SessionSummary:
             quality=QualityStats.from_samples(log.roi_psnrs),
             stability_stds=tuple(stability_series(log.roi_levels)),
             quality_stds=tuple(
-                stability_series(list(zip(log.display_times, log.roi_psnrs)))
+                stability_series(
+                    np.column_stack((log.display_times, log.roi_psnrs))
+                    if log.display_times
+                    else []
+                )
             ),
             throughput=ThroughputStats.from_series(series, keep_series=False),
             mean_mismatch=(

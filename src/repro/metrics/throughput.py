@@ -13,12 +13,19 @@ from repro.units import BITS_PER_BYTE
 def per_second_series(
     arrivals: Sequence[Tuple[float, float]], duration: float
 ) -> List[float]:
-    """Bucket (arrival time, bytes) pairs into per-second bps values."""
+    """Bucket (arrival time, bytes) pairs into per-second bps values.
+
+    Vectorised but bit-identical to the per-pair loop it replaces:
+    ``astype(int64)`` truncates toward zero exactly like ``int()``, and
+    ``np.add.at`` accumulates repeated bucket indices in element order,
+    so each bucket's float sum is built in arrival order.
+    """
     buckets = int(np.ceil(duration)) or 1
     series = np.zeros(buckets)
-    for when, size in arrivals:
-        index = min(buckets - 1, int(when))
-        series[index] += size * BITS_PER_BYTE
+    if len(arrivals):
+        pairs = np.asarray(arrivals, dtype=np.float64)
+        index = np.minimum(buckets - 1, pairs[:, 0].astype(np.int64))
+        np.add.at(series, index, pairs[:, 1] * BITS_PER_BYTE)
     return series.tolist()
 
 

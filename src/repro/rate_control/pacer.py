@@ -161,3 +161,114 @@ class PacedSender:
             del self._frames[1]
             self._queued_bytes -= item.remaining
             self.dropped_frames += 1
+
+
+# ----------------------------------------------------------------------
+# Lockstep twin (batched engine, repro.sim.batch)
+# ----------------------------------------------------------------------
+
+import numpy as np
+
+#: Frame slots per session in the batched pacer ring.  The 1 s queue
+#: cap bounds the backlog to ~25 frames at the lockstep profile's frame
+#: rates; a pathological overflow trips the explicit check.
+_FRAME_SLOTS = 128
+
+
+class PacedSenderArray:
+    """``(n_sessions,)`` vectorised twin of the lockstep pacer
+    (:class:`repro.telephony.uplink._GridPacer`).
+
+    Frames wait in per-session circular rings; :meth:`tick` replays the
+    scalar token-bucket loop in *rounds*, each round emitting at most
+    one packet per session, so budgets, remainders and the
+    size-vs-budget break are float-identical per session.  Stale-frame
+    expiry is a rare per-session scalar loop (it only runs under heavy
+    congestion).
+    """
+
+    def __init__(self, payloads: np.ndarray):
+        n = payloads.shape[0]
+        self._payload = payloads.astype(np.float64)
+        self._rows = np.arange(n)
+        self._fid = np.full((n, _FRAME_SLOTS), -1, dtype=np.int64)
+        self._rem = np.zeros((n, _FRAME_SLOTS))
+        self._head = np.zeros(n, dtype=np.int64)
+        self._count = np.zeros(n, dtype=np.int64)
+        self._budget = np.zeros(n)
+        self._queued = np.zeros(n)
+        self.dropped_frames = np.zeros(n, dtype=np.int64)
+
+    def enqueue_all(self, frame_id: int, sizes: np.ndarray) -> None:
+        """Every session queues its copy of frame ``frame_id`` (the
+        lockstep profile captures frames on a shared cadence)."""
+        if (self._count >= _FRAME_SLOTS).any():
+            raise RuntimeError("pacer frame ring overflow")
+        cols = (self._head + self._count) % _FRAME_SLOTS
+        self._fid[self._rows, cols] = frame_id
+        self._rem[self._rows, cols] = sizes
+        self._count += 1
+        self._queued = self._queued + sizes
+
+    def _expire(self, rate: np.ndarray, max_bytes: np.ndarray) -> None:
+        mask = (rate > 0.0) & (self._queued > max_bytes) & (self._count > 1)
+        if not mask.any():
+            return
+        stale = np.nonzero(mask)[0]
+        for s in stale.tolist():
+            head = int(self._head[s])
+            count = int(self._count[s])
+            queued = self._queued[s]
+            cap = max_bytes[s]
+            dropped = 0
+            # Frames behind the head are dropped oldest-first; the head
+            # may be partially on the wire and must complete.
+            while queued > cap and count - dropped > 1:
+                col = (head + 1 + dropped) % _FRAME_SLOTS
+                queued = queued - self._rem[s, col]
+                dropped += 1
+            if dropped:
+                new_head = (head + dropped) % _FRAME_SLOTS
+                self._fid[s, new_head] = self._fid[s, head]
+                self._rem[s, new_head] = self._rem[s, head]
+                self._head[s] = new_head
+                self._count[s] = count - dropped
+                self._queued[s] = queued
+                self.dropped_frames[s] += dropped
+
+    def tick(self, rates: np.ndarray):
+        """One pacing tick; returns emission rounds.
+
+        Each round is ``(rows, frame_ids, sizes, last)`` — parallel 1-D
+        arrays, one packet per listed session.  Per-session packet
+        order across rounds matches the scalar emit loop.
+        """
+        rate = np.maximum(0.0, rates)
+        max_bytes = rate * MAX_QUEUE_SECONDS / BITS_PER_BYTE
+        self._expire(rate, max_bytes)
+        tick_budget = rate * PACING_TICK / BITS_PER_BYTE
+        burst_cap = np.maximum(MIN_BURST_BYTES, BURST_TICKS * tick_budget)
+        self._budget = np.minimum(self._budget + tick_budget, burst_cap)
+        emissions = []
+        live = np.nonzero((self._count > 0) & (self._budget > 0))[0]
+        while live.size:
+            heads = self._head[live]
+            size = np.minimum(self._payload[live], self._rem[live, heads])
+            fits = size <= self._budget[live]
+            rows = live[fits]
+            if not rows.size:
+                break
+            heads = heads[fits]
+            size = size[fits]
+            self._budget[rows] -= size
+            remaining = self._rem[rows, heads] - size
+            self._rem[rows, heads] = remaining
+            self._queued[rows] -= size
+            last = remaining <= 0
+            done = rows[last]
+            if done.size:
+                self._head[done] = (heads[last] + 1) % _FRAME_SLOTS
+                self._count[done] -= 1
+            emissions.append((rows, self._fid[rows, heads], size, last))
+            live = rows[(self._count[rows] > 0) & (self._budget[rows] > 0)]
+        return emissions

@@ -1,0 +1,413 @@
+"""Batched lockstep execution: N sessions per 1 ms subframe step.
+
+The event-driven engine (:mod:`repro.sim.engine`) pays Python's
+per-event price for every subframe of every session.  But the uplink
+lockstep profile (:mod:`repro.telephony.uplink`) puts *every* cadence on
+the shared 1 ms LTE subframe grid, so a whole cohort of sessions can be
+advanced one tick at a time with per-session state held in
+``(n_sessions,)`` numpy arrays — one set of array ops per tick instead
+of ``n`` event dispatches.  That is what :class:`BatchedSimulation`
+does, and it is the repo's answer to fleet-scale sweeps: aggregate
+sessions/sec grows ~linearly with the cohort size until the arrays
+dominate (see docs/PERFORMANCE.md, "Batched lockstep engine").
+
+Equivalence contract
+--------------------
+
+A cohort of one MUST reproduce :class:`~repro.telephony.uplink.UplinkSession`
+**bit-for-bit** — same seeds, same :class:`SessionResult` numbers — and
+a cohort of N must equal N scalar runs.  tests/test_batch.py enforces
+both.  The machinery making that possible:
+
+- per-session block-drawn RNG streams (:mod:`repro.sim.blocks`) with
+  transforms applied block-wise in both engines;
+- ``*Array`` twins that perform the scalar classes' float64 ops in the
+  same order (:class:`~repro.lte.ue.UeUplinkArray`,
+  :class:`~repro.rate_control.fbcc.batch.DetectorArray`, ...);
+- rare per-frame events (assembly, jitter, display, PSNR) routed
+  through the *same* scalar code both engines share
+  (:class:`~repro.telephony.uplink.ReceiverState`).
+
+Cohorts must be *structurally* homogeneous — same grid cadences, same
+detector window, same TBS window (see
+:meth:`~repro.telephony.uplink.UplinkProfile.signature`).  Everything
+parametric (RSS, speed, load, seeds, rates, margins, targets) may vary
+per session; :func:`repro.experiments.batch.run_batched_sessions`
+slices arbitrary sweep grids into valid cohorts.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.config import SessionConfig
+from repro.lte.ue import UeUplinkArray
+from repro.metrics.summary import SessionLog, SessionSummary
+from repro.rate_control.fbcc.batch import (
+    DetectorArray,
+    EncodingHoldArray,
+    RampArray,
+    RtpRateArray,
+    TbsWindowArray,
+)
+from repro.rate_control.pacer import PacedSenderArray
+from repro.sim.blocks import BlockStreamArray, lognormal_transform
+from repro.sim.rng import RngRegistry
+from repro.telephony.session import SessionResult
+from repro.telephony.uplink import (
+    MS,
+    SAMPLE_TICKS,
+    ReceiverState,
+    UplinkProfile,
+    _ms_aligned,
+    _ticks,
+)
+from repro.units import BITS_PER_BYTE
+
+
+def _session_streams(config: SessionConfig):
+    registry = RngRegistry(config.seed)
+    return lambda name: registry.stream("batch." + name)
+
+
+class BatchedSimulation:
+    """Advance a homogeneous cohort of sessions in 1 ms lockstep."""
+
+    def __init__(self, configs: Sequence[SessionConfig]):
+        if not configs:
+            raise ValueError("empty cohort")
+        profiles = [UplinkProfile.from_config(c) for c in configs]
+        signature = profiles[0].signature()
+        for config, profile in zip(configs[1:], profiles[1:]):
+            if profile.signature() != signature:
+                raise ValueError(
+                    "cohort is not structurally homogeneous: "
+                    f"{profile.signature()} != {signature} "
+                    "(slice the grid with run_batched_sessions)"
+                )
+        self.configs = list(configs)
+        self.profile = profiles[0]
+        n = self.n = len(self.configs)
+        streams = [_session_streams(c) for c in self.configs]
+
+        self._ue = UeUplinkArray([c.lte for c in self.configs], streams)
+        self._pacer = PacedSenderArray(
+            np.array([float(c.video.rtp_payload) for c in self.configs])
+        )
+        self._noise = BlockStreamArray(
+            [streams[s]("frame.noise") for s in range(n)],
+            [lognormal_transform(c.video.size_sigma_base) for c in self.configs],
+            aligned=True,
+        )
+        self._receivers = [
+            ReceiverState(c.video, streams[s]("recv"))
+            for s, c in enumerate(self.configs)
+        ]
+        self.logs = [SessionLog() for _ in range(n)]
+
+        fbcc = [c.fbcc for c in self.configs]
+        diag_interval = self.profile.diag_interval
+        self._bandwidth = TbsWindowArray(n, self.profile.tbs_window)
+        self._detector = DetectorArray(
+            n,
+            self.profile.k_consecutive,
+            np.array([diag_interval / f.gamma_time_constant for f in fbcc]),
+        )
+        self._encoding = EncodingHoldArray(
+            n,
+            np.array([f.phy_rate_margin for f in fbcc]),
+            np.array([p.hold_delta for p in profiles]),
+        )
+        self._ramp = RampArray(
+            np.array([c.gcc.start_rate for c in self.configs]),
+            np.array([c.gcc.min_rate for c in self.configs]),
+            np.array([c.gcc.max_rate for c in self.configs]),
+            np.array([c.gcc.beta for c in self.configs]),
+            np.array([p.ramp_growth for p in profiles]),
+        )
+        self._rtp = RtpRateArray(
+            np.array([c.gcc.start_rate for c in self.configs]),
+            np.array([f.target_buffer for f in fbcc]),
+            diag_interval,
+            np.array([f.rtp_min_rate for f in fbcc]),
+            np.array([f.rtp_max_rate for f in fbcc]),
+        )
+        self._kf_factor = np.array([c.video.keyframe_factor for c in self.configs])
+
+        #: frame_id -> (capture_s, per-session size_bytes, damaged flags)
+        #: — one cohort-wide entry per frame (capture is lockstep, so
+        #: the capture instant is shared by the whole cohort).
+        self._frames: Dict[int, Tuple[float, List[float], List[bool]]] = {}
+        self._next_fid = 0
+        self._frame_index = 0
+        self._frames_sent = 0
+        self._sent_bits = np.zeros(n)
+        #: Staged packet-arrival logging: (now, rows, sizes) per drain
+        #: round, materialised into per-session (t, bytes) tuple lists
+        #: once at the end of the run (a stable sort by session keeps
+        #: each session's arrival order).
+        self._arrival_stage: List[Tuple[float, np.ndarray, np.ndarray]] = []
+        #: (done_tick, frame_id, per-session size_bytes array).
+        self._pipe: Deque[Tuple[int, int, np.ndarray]] = deque()
+        #: arrival_tick -> [(rows, frame_ids, last, sizes), ...].
+        self._in_flight: Dict[int, List[tuple]] = {}
+        self._seen_drops = np.zeros(n, dtype=np.int64)
+        self._last_level = np.zeros(n)
+        self._batch_level_sum = np.zeros(n)
+        self._batch_count = 0
+        self._sec_tbs = np.zeros(n)
+        self._sec_level_sum = np.zeros(n)
+        self._sec_count = 0
+        self._last_flush_k = 0
+        self._baseline_fw_drops = np.zeros(n, dtype=np.int64)
+        self._baseline_pacer_drops = np.zeros(n, dtype=np.int64)
+        #: Per-session earliest pending display instant, plus its scalar
+        #: min — the gate that keeps the flush phase off the hot path.
+        self._next_display = np.full(n, float("inf"))
+        self._next_flush = float("inf")
+
+    # -- tick phases (numbered as in UplinkSession._tick) ---------------
+
+    def _arrivals(self, k: int, now: float) -> None:
+        packets = self._in_flight.pop(k, None)
+        if packets is None:
+            return
+        stage = self._arrival_stage
+        receivers = self._receivers
+        next_display = self._next_display
+        for rows, frame_ids, last, sizes in packets:
+            stage.append((now, rows, sizes))
+            n_last = int(last.sum())
+            if not n_last:
+                continue
+            if n_last == last.size:
+                lrows, lfids = rows, frame_ids
+            else:
+                lrows, lfids = rows[last], frame_ids[last]
+            frames = self._frames
+            for s, fid in zip(lrows.tolist(), lfids.tolist()):
+                capture, frame_sizes, damaged = frames[fid]
+                if not damaged[s]:
+                    receiver = receivers[s]
+                    receiver.on_frame_complete(now, capture, frame_sizes[s])
+                    when = receiver.next_display
+                    next_display[s] = when
+                    if when < self._next_flush:
+                        self._next_flush = when
+
+    def _flush_displays(self, now: float) -> None:
+        due = np.nonzero(self._next_display <= now)[0]
+        for s in due.tolist():
+            receiver = self._receivers[s]
+            receiver.flush(now, self.logs[s])
+            self._next_display[s] = receiver.next_display
+        self._next_flush = float(self._next_display.min())
+
+    def _deliver_diag(self, k: int, now: float) -> None:
+        mean_level = self._batch_level_sum / self._batch_count
+        congested = self._detector.on_report_level(mean_level)
+        fired = np.nonzero(congested)[0]
+        if fired.size:
+            self._encoding.on_congestion(fired, self._bandwidth.rate_bps()[fired], now)
+        video_rate = self._encoding.rate(now, self._ramp.rate)
+        self._rtp.on_batch(self._last_level, video_rate)
+        drops = self._ue.buffer.dropped_packets
+        self._ramp.on_batch(drops - self._seen_drops, congested, self._encoding.held)
+        self._seen_drops = drops.copy()
+        self._batch_level_sum = np.zeros(self.n)
+        self._batch_count = 0
+        if k - self._last_flush_k >= 1000:
+            if self._sec_count:
+                means = self._sec_level_sum / self._sec_count
+            else:
+                means = np.zeros(self.n)
+            tbs_bits = self._sec_tbs * BITS_PER_BYTE
+            for s, log in enumerate(self.logs):
+                log.diag_seconds.append((float(tbs_bits[s]), float(means[s])))
+            self._sec_tbs = np.zeros(self.n)
+            self._sec_level_sum = np.zeros(self.n)
+            self._sec_count = 0
+            self._last_flush_k = k
+
+    def _pace(self) -> None:
+        logs = self.logs
+        for rows, frame_ids, sizes, last in self._pacer.tick(self._rtp.rate):
+            accepted = self._ue.buffer.push(rows, sizes, frame_ids, last)
+            if accepted.all():
+                continue
+            rejected = ~accepted
+            for s, frame_id in zip(
+                rows[rejected].tolist(), frame_ids[rejected].tolist()
+            ):
+                damaged = self._frames[frame_id][2]
+                if not damaged[s]:
+                    damaged[s] = True
+                    logs[s].frames_lost += 1
+
+    def _capture(self, k: int, now: float) -> None:
+        profile = self.profile
+        rate_v = self._encoding.rate(now, self._ramp.rate)
+        size = rate_v * profile.frame_interval * self._noise.take_all()
+        if self._frame_index % profile.kf_frames == 0:
+            size = size * self._kf_factor
+        self._frame_index += 1
+        size_bytes = size / BITS_PER_BYTE
+        bits = size_bytes * BITS_PER_BYTE
+        frame_id = self._next_fid
+        self._next_fid += 1
+        # Python lists: the completion path reads these per-row, where
+        # list indexing (and plain-float math downstream) beats numpy
+        # scalar extraction.
+        self._frames[frame_id] = (now, size_bytes.tolist(), [False] * self.n)
+        # frames_sent is lockstep-uniform; sent_bits accumulates the
+        # same per-capture float adds as the scalar log, as one vector.
+        self._frames_sent += 1
+        self._sent_bits += bits
+        self._pipe.append((k + profile.encode_ticks, frame_id, size_bytes))
+
+    def _tick(self, k: int, warm_ticks: int) -> None:
+        profile = self.profile
+        now = k * MS
+
+        # 1. in-flight packet arrivals
+        if self._in_flight:
+            self._arrivals(k, now)
+        # 2. due displays
+        if self._next_flush <= now:
+            self._flush_displays(now)
+        # 3./4. channel and cell dynamics
+        if k % profile.chan_ticks == 0:
+            self._ue.channel.update(now)
+        if k % profile.cell_ticks == 0:
+            self._ue.cell.update()
+        # 5. diag batch delivery
+        if k % profile.diag_ticks == 0 and self._batch_count:
+            self._deliver_diag(k, now)
+        # 6. frames leaving the encoder
+        pipe = self._pipe
+        while pipe and pipe[0][0] == k:
+            _, frame_id, size_bytes = pipe.popleft()
+            self._pacer.enqueue_all(frame_id, size_bytes)
+        # 7. pacing tick
+        if k % profile.pacer_ticks == 0:
+            self._pace()
+        # 8. LTE subframe
+        tbs, rounds = self._ue.subframe(now)
+        if rounds:
+            self._in_flight.setdefault(k + profile.deliver_ticks, []).extend(rounds)
+        self._bandwidth.on_record(tbs)
+        level = self._ue.buffer.level
+        self._batch_level_sum += level
+        self._batch_count += 1
+        self._sec_tbs += tbs
+        self._sec_level_sum += level
+        self._sec_count += 1
+        # The RTP controller needs the last pre-diag level (Eq. 7 reads
+        # batch[-1]); snapshot it only on the tick before a delivery.
+        if (k + 1) % profile.diag_ticks == 0:
+            self._last_level = level.copy()
+        # 9. frame capture
+        if k % profile.frame_ticks == 0:
+            self._capture(k, now)
+        # 10. rate / buffer traces
+        if k % SAMPLE_TICKS == 0:
+            rates = self._encoding.rate(now, self._ramp.rate).tolist()
+            rtp_rates = self._rtp.rate.tolist()
+            levels = self._ue.buffer.level.tolist()
+            for s, log in enumerate(self.logs):
+                log.rate_trace.append((now, rates[s], rtp_rates[s]))
+                log.buffer_levels.append((now, levels[s]))
+        # 11. end of warm-up
+        if k == warm_ticks:
+            self._arrival_stage.clear()
+            self._frames_sent = 0
+            self._sent_bits = np.zeros(self.n)
+            for log, receiver in zip(self.logs, self._receivers):
+                log.reset()
+                receiver.reset_measurement()
+                log.start_time = now
+            self._baseline_fw_drops = self._ue.buffer.dropped_packets.copy()
+            self._baseline_pacer_drops = self._pacer.dropped_frames.copy()
+
+    def _materialise_arrivals(self) -> None:
+        """Turn the staged (now, rows, sizes) drain rounds into each
+        session's ``log.arrivals``.  The stable sort keeps every
+        session's rounds in staging (= arrival) order, so the rows are
+        identical to the scalar engine's live appends — but they are
+        handed over as ``(m, 2)`` float64 views into one shared array
+        (arrivals dominate the log at ~100 packets/s per session, and
+        ``from_log`` converts to an array anyway)."""
+        stage = self._arrival_stage
+        if not stage:
+            return
+        rows_all = np.concatenate([rows for _, rows, _ in stage])
+        sizes_all = np.concatenate([sizes for _, _, sizes in stage])
+        counts = np.fromiter(
+            (rows.size for _, rows, _ in stage), dtype=np.int64, count=len(stage)
+        )
+        times_all = np.repeat(
+            np.fromiter(
+                (when for when, _, _ in stage), dtype=np.float64, count=len(stage)
+            ),
+            counts,
+        )
+        order = np.argsort(rows_all, kind="stable")
+        rows_sorted = rows_all[order]
+        bounds = np.searchsorted(rows_sorted, np.arange(self.n + 1))
+        pairs = np.column_stack((times_all[order], sizes_all[order]))
+        for s, log in enumerate(self.logs):
+            lo, hi = int(bounds[s]), int(bounds[s + 1])
+            if hi > lo:
+                log.arrivals = pairs[lo:hi]
+        self._arrival_stage = []
+
+    # -- public API ------------------------------------------------------
+
+    def run(
+        self, duration: Optional[float] = None, warmup: float = 0.0
+    ) -> List[SessionResult]:
+        """Run the cohort and return one :class:`SessionResult` each."""
+        if duration is None:
+            durations = {c.duration for c in self.configs}
+            if len(durations) != 1:
+                raise ValueError("mixed config durations; pass duration explicitly")
+            duration = durations.pop()
+        if not _ms_aligned(duration) or not _ms_aligned(warmup):
+            raise ValueError("duration and warmup must be on the 1 ms grid")
+        warm_ticks = _ticks(warmup)
+        total_ticks = warm_ticks + _ticks(duration)
+        for k in range(1, total_ticks + 1):
+            self._tick(k, warm_ticks)
+        fw_drops = self._ue.buffer.dropped_packets - self._baseline_fw_drops
+        pacer_drops = self._pacer.dropped_frames - self._baseline_pacer_drops
+        congestion = self._encoding.congestion_events
+        self._materialise_arrivals()
+        results = []
+        for s, (config, log) in enumerate(zip(self.configs, self.logs)):
+            self._receivers[s].finalise(log)
+            log.frames_sent = self._frames_sent
+            log.sent_bits = float(self._sent_bits[s])
+            log.congestion_events = int(congestion[s])
+            log.packets_lost += int(fw_drops[s])
+            log.frames_lost += int(pacer_drops[s])
+            summary = SessionSummary.from_log(
+                log,
+                scheme=config.scheme,
+                transport=config.transport,
+                duration=duration,
+                freeze_threshold=config.freeze_threshold,
+            )
+            results.append(SessionResult(config=config, summary=summary, log=log))
+        return results
+
+
+def run_batched(
+    configs: Sequence[SessionConfig],
+    duration: Optional[float] = None,
+    warmup: float = 0.0,
+) -> List[SessionResult]:
+    """Build and run one lockstep cohort."""
+    return BatchedSimulation(configs).run(duration, warmup=warmup)

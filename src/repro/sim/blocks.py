@@ -1,0 +1,164 @@
+"""Block-drawn random streams shared by the scalar and batched engines.
+
+The batched lockstep engine (:mod:`repro.sim.batch`) must reproduce its
+scalar reference (:mod:`repro.telephony.uplink`) **bit-for-bit**.  Two
+things threaten that:
+
+1. *Draw granularity* — a vectorised engine wants whole arrays of
+   variates, a scalar one draws one value at a time; ``Generator``
+   state would diverge immediately.
+2. *Transcendental ULPs* — numpy may evaluate ``np.exp``/``np.log``
+   through different code paths (SIMD vs scalar) for arrays and Python
+   floats, so ``exp(x)`` computed per-element and ``exp(array)[i]`` can
+   differ in the last ulp.
+
+Both are solved the same way: every stream pre-draws a *block* of
+variates and applies its transform (``exp``, ``-log``, affine) **to the
+whole block** at refill time.  The scalar engine then consumes the block
+one value at a time through :class:`BlockStream`; the batched engine
+holds one block per session in :class:`BlockStreamArray` and gathers by
+cursor.  Given the same per-session generator and transform, both read
+the exact same float64 sequence.
+
+Transforms receive ``(generator, size)`` and return a float64 array —
+the constructors below build the common ones.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence
+
+import numpy as np
+
+#: Default variates per refill.  Large enough that the (vector-wide)
+#: refill cost amortises away, small enough not to waste draws on short
+#: sessions.
+DEFAULT_BLOCK = 4096
+
+#: Transform signature: ``fn(rng, size) -> np.ndarray`` of float64.
+BlockTransform = Callable[[np.random.Generator, int], np.ndarray]
+
+
+def uniform_transform() -> BlockTransform:
+    """Raw uniforms in [0, 1)."""
+    return lambda rng, size: rng.random(size)
+
+
+def normal_transform() -> BlockTransform:
+    """Raw standard normals."""
+    return lambda rng, size: rng.standard_normal(size)
+
+
+def lognormal_transform(sigma: float) -> BlockTransform:
+    """``exp(sigma * z)`` applied block-wise (per-grant fast fading)."""
+    return lambda rng, size: np.exp(sigma * rng.standard_normal(size))
+
+
+def neglog_uniform_transform() -> BlockTransform:
+    """``-log(max(1e-12, u))`` block-wise (geometric burst lengths)."""
+    return lambda rng, size: -np.log(np.maximum(1e-12, rng.random(size)))
+
+
+def exponential_transform(scale: float) -> BlockTransform:
+    """Inverse-transform exponential: ``scale * -log(1 - u)``.
+
+    ``u`` in [0, 1) keeps the argument in (0, 1] so the log is finite;
+    ``u == 0`` maps to exactly 0.0.
+    """
+    return lambda rng, size: scale * -np.log(1.0 - rng.random(size))
+
+
+def uniform_range_transform(low: float, high: float) -> BlockTransform:
+    """Inverse-transform uniform on [low, high): ``low + (high-low)*u``."""
+    span = high - low
+    return lambda rng, size: low + span * rng.random(size)
+
+
+class BlockStream:
+    """Scalar consumer of one block-transformed stream."""
+
+    __slots__ = ("_rng", "_transform", "_block", "_values", "_cursor")
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        transform: BlockTransform,
+        block: int = DEFAULT_BLOCK,
+    ):
+        self._rng = rng
+        self._transform = transform
+        self._block = int(block)
+        self._values = transform(rng, self._block)
+        self._cursor = 0
+
+    def next(self) -> float:
+        """The next variate (refills transparently)."""
+        if self._cursor >= self._block:
+            self._values = self._transform(self._rng, self._block)
+            self._cursor = 0
+        value = float(self._values[self._cursor])
+        self._cursor += 1
+        return value
+
+
+class BlockStreamArray:
+    """Per-session blocks of one stream, gathered by cursor.
+
+    ``take(idx)`` returns one variate per listed session and advances
+    only those sessions' cursors — exactly mirroring data-dependent
+    scalar consumption.  ``aligned=True`` asserts all sessions consume
+    in lockstep (e.g. the channel's every-update normal draw) and keeps
+    a single shared cursor, which makes :meth:`take_all` a plain column
+    read.
+    """
+
+    def __init__(
+        self,
+        rngs: Sequence[np.random.Generator],
+        transforms: Sequence[BlockTransform],
+        block: int = DEFAULT_BLOCK,
+        aligned: bool = False,
+    ):
+        if len(rngs) != len(transforms):
+            raise ValueError("one transform per session required")
+        self._rngs: List[np.random.Generator] = list(rngs)
+        self._transforms: List[BlockTransform] = list(transforms)
+        self._block = int(block)
+        self._n = len(self._rngs)
+        self._aligned = bool(aligned)
+        self._values = np.empty((self._n, self._block), dtype=np.float64)
+        for s in range(self._n):
+            self._values[s] = self._transforms[s](self._rngs[s], self._block)
+        if aligned:
+            self._cursor = 0
+        else:
+            self._cursors = np.zeros(self._n, dtype=np.int64)
+
+    def take_all(self) -> np.ndarray:
+        """One variate for every session (aligned streams only)."""
+        if not self._aligned:
+            raise RuntimeError("take_all() requires an aligned stream")
+        if self._cursor >= self._block:
+            for s in range(self._n):
+                self._values[s] = self._transforms[s](self._rngs[s], self._block)
+            self._cursor = 0
+        column = self._values[:, self._cursor].copy()
+        self._cursor += 1
+        return column
+
+    def take(self, idx: np.ndarray) -> np.ndarray:
+        """One variate per session in ``idx`` (unaligned streams)."""
+        if self._aligned:
+            raise RuntimeError("take() requires an unaligned stream")
+        if idx.size == 0:
+            return np.empty(0, dtype=np.float64)
+        cursors = self._cursors
+        c = cursors[idx]
+        if (c >= self._block).any():
+            for s in idx[c >= self._block].tolist():
+                self._values[s] = self._transforms[s](self._rngs[s], self._block)
+                cursors[s] = 0
+            c = cursors[idx]
+        out = self._values[idx, c]
+        cursors[idx] = c + 1
+        return out

@@ -338,7 +338,13 @@ class Simulation:
             self.trace.emit("sim.run_end", pending=self._live)
 
     def step(self) -> bool:
-        """Process a single event; return False when the queue is empty."""
+        """Process a single event; return False when the queue is empty.
+
+        Metering matches :meth:`run`: every dispatched event increments
+        the ``sim.events`` counter when a meter is attached.  ``sim.runs``
+        still counts only :meth:`run` invocations — single-stepping a
+        simulation is not a run, but the events it dispatches are events.
+        """
         while self._queue:
             when, _seq, handle, callback, args = heapq.heappop(self._queue)
             handle._queued -= 1
@@ -346,6 +352,8 @@ class Simulation:
                 continue
             self._live -= 1
             self._now = when
+            if self.meter:
+                self.meter.inc("sim.events")
             callback(*args)
             return True
         return False

@@ -43,9 +43,17 @@ class RngRegistry:
         return RngRegistry(seed=self.seed * 1_000_003 + int(offset) + 1)
 
 
+_HASH_MEMO: Dict[str, int] = {}
+
+
 def _stable_hash(name: str) -> int:
     """A process-stable 32-bit hash of ``name`` (``hash()`` is salted)."""
+    cached = _HASH_MEMO.get(name)
+    if cached is not None:
+        return cached
     value = 2166136261
     for char in name.encode("utf-8"):
         value = (value ^ char) * 16777619 % (1 << 32)
+    if len(_HASH_MEMO) < 4096:
+        _HASH_MEMO[name] = value
     return value

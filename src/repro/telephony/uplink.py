@@ -1,0 +1,618 @@
+"""The grid-aligned *uplink lockstep profile* and its scalar reference.
+
+The batched engine (:mod:`repro.sim.batch`) advances N sessions in
+lockstep on the shared 1 ms LTE subframe grid.  That only makes sense
+for a session model whose every process sits on that grid, so this
+module defines the **uplink lockstep profile**: a full sender-side
+cellular telephony loop — FBCC rate control (Eq. 3-7), RTP pacing, the
+firmware buffer, the PF grant scheduler, channel/cell dynamics, a fixed
+downstream delay and a jitter-adaptive receiver — with every cadence an
+integer number of subframes.
+
+:class:`UplinkSession` here is the *scalar reference*: it runs the
+profile one session at a time on the event-driven
+:class:`~repro.sim.engine.Simulation` (one master event per subframe),
+composing the production FBCC classes
+(:class:`~repro.rate_control.fbcc.detector.CongestionDetector`,
+:class:`~repro.rate_control.fbcc.bandwidth.TbsBandwidthEstimator`,
+:class:`~repro.rate_control.fbcc.encoding.EncodingRateControl`,
+:class:`~repro.rate_control.fbcc.rtp.RtpRateControl`) and the
+production :class:`~repro.lte.firmware_buffer.FirmwareBuffer`.  The
+batched engine must reproduce it **bit-for-bit** (same seeds → same
+:class:`~repro.telephony.session.SessionResult` numbers); the
+equivalence test in ``tests/test_batch.py`` enforces this.
+
+Three design rules make that achievable (see docs/PERFORMANCE.md):
+
+1. every random variate comes from a per-session *block stream*
+   (:mod:`repro.sim.blocks`) with transcendentals applied block-wise;
+2. all time is derived from the integer tick counter (``now = k *
+   1e-3``), never from float-accumulated periods;
+3. rare per-frame events (assembly, display, PSNR) run through
+   *shared* scalar code (:class:`ReceiverState`) in both engines.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.config import SessionConfig, VideoConfig
+from repro.lte.cell import UPDATE_INTERVAL as CELL_UPDATE_INTERVAL
+from repro.lte.cell import GridCellLoad
+from repro.lte.channel import GridChannel
+from repro.lte.diagnostics import DiagRecord
+from repro.lte.firmware_buffer import FirmwareBuffer
+from repro.lte.scheduler import GridScheduler
+from repro.metrics.summary import SessionLog, SessionSummary
+from repro.rate_control.fbcc.bandwidth import TbsBandwidthEstimator
+from repro.rate_control.fbcc.batch import FallbackRamp
+from repro.rate_control.fbcc.detector import CongestionDetector
+from repro.rate_control.fbcc.encoding import EncodingRateControl
+from repro.rate_control.fbcc.rtp import RtpRateControl
+from repro.rate_control.pacer import (
+    BURST_TICKS,
+    MAX_QUEUE_SECONDS,
+    MIN_BURST_BYTES,
+    PACING_TICK,
+)
+from repro.sim.blocks import BlockStream, lognormal_transform
+from repro.sim.engine import Simulation
+from repro.sim.rng import RngRegistry
+from repro.telephony.session import SessionResult
+from repro.units import BITS_PER_BYTE
+from repro.video.quality import anchor_bpp, psnr_from_bpp
+
+#: One lockstep tick (the LTE subframe).
+MS = 1e-3
+
+#: Rate/buffer traces are sampled every this many ticks (5 Hz).
+SAMPLE_TICKS = 200
+
+#: Per-session receiver clock offset sigma (s) — NTP-grade desync
+#: between the two phones' wall clocks.
+CLOCK_OFFSET_SIGMA = 0.003
+
+
+def _ms_aligned(value: float) -> bool:
+    return abs(value * 1000.0 - round(value * 1000.0)) < 1e-9
+
+
+def _ticks(value: float) -> int:
+    return int(round(value * 1000.0))
+
+
+def batch_unsupported_reason(config: SessionConfig) -> Optional[str]:
+    """Why ``config`` cannot run under the uplink lockstep profile.
+
+    Returns ``None`` when the profile supports it.  The checks mirror
+    the profile's structural assumptions; anything else (RSS, speed,
+    load, seeds, rates, ...) may vary freely per session.
+    """
+    if config.path.access != "lte":
+        return f"profile models the LTE uplink (access={config.path.access!r})"
+    if config.lte.cell.competitor_count:
+        return "explicit competitor UEs are event-driven"
+    if config.fbcc.target_buffer is None:
+        return "the online sweet-spot learner (target_buffer=None) is unsupported"
+    if config.video.fps <= 0:
+        return "fps must be positive"
+    named = {
+        "channel.update_interval": config.lte.channel.update_interval,
+        "lte.diag_interval": config.lte.diag_interval,
+        "lte.bsr_delay": config.lte.bsr_delay,
+        "lte.radio_latency": config.lte.radio_latency,
+        "path.core_delay": config.path.core_delay,
+        "path.downlink_delay": config.path.downlink_delay,
+        "video.encode_latency": config.video.encode_latency,
+        "frame interval (1/fps)": 1.0 / config.video.fps,
+    }
+    for name, value in named.items():
+        if not _ms_aligned(value):
+            return f"{name}={value!r} is not on the 1 ms subframe grid"
+    return None
+
+
+@dataclass(frozen=True)
+class UplinkProfile:
+    """Grid cadences + shared derived constants of the lockstep profile.
+
+    Derived once from a :class:`SessionConfig` and used verbatim by the
+    scalar reference and the batched engine, so both agree on every
+    tick boundary and every shared float constant.
+    """
+
+    chan_ticks: int
+    cell_ticks: int
+    diag_ticks: int
+    frame_ticks: int
+    encode_ticks: int
+    pacer_ticks: int
+    bsr_depth: int
+    deliver_ticks: int
+    kf_frames: int
+    k_consecutive: int
+    tbs_window: int
+    frame_interval: float
+    diag_interval: float
+    #: One-way-loop RTT constant the Eq. (6) hold uses (s).
+    rtt: float
+    #: ``hold_rtts * rtt`` — added to ``now`` on each detection.
+    hold_delta: float
+    #: Fallback-ramp multiplicative growth per diag batch.
+    ramp_growth: float
+
+    @staticmethod
+    def from_config(config: SessionConfig) -> "UplinkProfile":
+        reason = batch_unsupported_reason(config)
+        if reason is not None:
+            raise ValueError(f"config unsupported by the lockstep profile: {reason}")
+        lte, path, video = config.lte, config.path, config.video
+        frame_interval = 1.0 / video.fps
+        frame_ticks = _ticks(frame_interval)
+        rtt = path.core_delay + path.downlink_delay + lte.radio_latency + path.feedback_delay
+        return UplinkProfile(
+            chan_ticks=_ticks(lte.channel.update_interval),
+            cell_ticks=_ticks(CELL_UPDATE_INTERVAL),
+            diag_ticks=_ticks(lte.diag_interval),
+            frame_ticks=frame_ticks,
+            encode_ticks=_ticks(video.encode_latency),
+            pacer_ticks=_ticks(PACING_TICK),
+            bsr_depth=max(1, int(round(lte.bsr_delay / MS))),
+            deliver_ticks=(
+                _ticks(lte.radio_latency)
+                + _ticks(path.core_delay)
+                + _ticks(path.downlink_delay)
+            ),
+            kf_frames=max(1, int(round(video.keyframe_interval / frame_interval))),
+            k_consecutive=config.fbcc.k_consecutive,
+            tbs_window=config.fbcc.tbs_window_subframes,
+            frame_interval=frame_interval,
+            diag_interval=lte.diag_interval,
+            rtt=rtt,
+            hold_delta=config.fbcc.hold_rtts * rtt,
+            ramp_growth=1.0 + config.gcc.eta_per_second * lte.diag_interval,
+        )
+
+    def signature(self) -> tuple:
+        """Cohort-homogeneity key: sessions batched together must share
+        every grid cadence (per-session *parameters* may differ)."""
+        return (
+            self.chan_ticks,
+            self.cell_ticks,
+            self.diag_ticks,
+            self.frame_ticks,
+            self.encode_ticks,
+            self.pacer_ticks,
+            self.bsr_depth,
+            self.deliver_ticks,
+            self.kf_frames,
+            self.k_consecutive,
+            self.tbs_window,
+        )
+
+
+class ReceiverState:
+    """Per-session viewer: jitter-adaptive playout + display accounting.
+
+    This exact class runs in **both** engines (frame completions are
+    rare — tens per second — so scalar Python here costs nothing and
+    buys bit-identical jitter EWMAs, playout clamps and PSNR numbers).
+    """
+
+    __slots__ = (
+        "_video",
+        "_pixels",
+        "_jitter",
+        "_last_transit",
+        "_heap",
+        "_last_capture",
+        "clock_offset",
+        "_anchor_bpp",
+        "_rd_anchor",
+        "_rd_slope",
+        "_psnr_floor",
+        "_psnr_ceiling",
+        "_playout_min",
+        "_playout_max",
+        "_jitter_mult",
+        "_decode_latency",
+        "_pending_sizes",
+    )
+
+    def __init__(self, video: VideoConfig, rng):
+        self._video = video
+        self._pixels = float(video.width * video.height)
+        self._jitter = 0.0
+        self._last_transit: Optional[float] = None
+        self._heap: List[Tuple[float, float, float]] = []
+        self._last_capture = -1.0
+        self.clock_offset = float(rng.normal(0.0, CLOCK_OFFSET_SIGMA))
+        # R-D constants hoisted out of the per-display path; the vector
+        # pass in finalise() mirrors psnr_from_bpp at complexity 1.0
+        # (bpp / max(1e-9, 1.0) == bpp, so the floats are identical).
+        self._anchor_bpp = anchor_bpp(video)
+        self._rd_anchor = float(video.rd_anchor_psnr)
+        self._rd_slope = float(video.rd_db_per_octave)
+        self._psnr_floor = float(video.psnr_floor)
+        self._psnr_ceiling = float(video.psnr_ceiling)
+        self._playout_min = float(video.playout_min)
+        self._playout_max = float(video.playout_max)
+        self._jitter_mult = float(video.jitter_multiplier)
+        self._decode_latency = float(video.decode_latency)
+        # Displayed-frame sizes staged for finalise(): the per-display
+        # R-D math is deferred and vectorised there (≈120 np.log2 scalar
+        # dispatches per session off the hot path).
+        self._pending_sizes: List[float] = []
+
+    def on_frame_complete(self, arrival: float, capture: float, size_bytes: float) -> None:
+        """Last packet of an undamaged frame arrived at ``arrival``."""
+        transit = arrival - capture
+        if self._last_transit is not None:
+            deviation = abs(transit - self._last_transit)
+            self._jitter += (deviation - self._jitter) / 16.0
+        self._last_transit = transit
+        playout = min(
+            self._playout_max,
+            max(self._playout_min, self._jitter_mult * self._jitter),
+        )
+        display_time = arrival + self._decode_latency + playout
+        heapq.heappush(self._heap, (display_time, capture, size_bytes))
+
+    @property
+    def next_display(self) -> float:
+        """Earliest pending display instant (+inf when none pending)."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def flush(self, now: float, log: SessionLog) -> None:
+        """Display every frame whose playout deadline has passed."""
+        heap = self._heap
+        while heap and heap[0][0] <= now:
+            display_time, capture, size_bytes = heapq.heappop(heap)
+            delay = (display_time + self.clock_offset) - capture
+            log.frame_delays.append(delay)
+            if capture <= self._last_capture:
+                continue  # superseded by a newer displayed frame
+            self._last_capture = capture
+            log.frames_displayed += 1
+            log.display_times.append(display_time)
+            self._pending_sizes.append(size_bytes)
+
+    def reset_measurement(self) -> None:
+        """Drop staged display sizes (end of a warm-up phase, paired
+        with ``log.reset()``)."""
+        self._pending_sizes.clear()
+
+    def finalise(self, log: SessionLog) -> None:
+        """Materialise ``roi_psnrs``/``roi_levels`` from the staged
+        display sizes — one vector pass instead of one R-D evaluation
+        per displayed frame.
+
+        Bit-exact with the former inline arithmetic: scalar ``_log2``
+        is the same numpy ufunc the array call dispatches to (the exact
+        -equality property pinned by ``tests/test_kernels.py``), and
+        ``np.minimum``/``np.maximum`` equal the scalar clamps
+        elementwise.
+        """
+        sizes = self._pending_sizes
+        self._pending_sizes = []
+        if not sizes:
+            return
+        bpp = np.asarray(sizes, dtype=float) * BITS_PER_BYTE / self._pixels
+        positive = bpp > 0.0
+        safe_bpp = bpp if positive.all() else np.where(positive, bpp, 1.0)
+        psnr = np.minimum(
+            self._psnr_ceiling,
+            np.maximum(
+                self._psnr_floor,
+                self._rd_anchor
+                + self._rd_slope * np.log2(safe_bpp / self._anchor_bpp),
+            ),
+        )
+        if safe_bpp is not bpp:
+            psnr = np.where(positive, psnr, self._psnr_floor)
+        log.roi_psnrs.extend(psnr.tolist())
+        log.roi_levels.extend(
+            (t, 1.0) for t in log.display_times[len(log.roi_levels) :]
+        )
+
+
+class _Pkt:
+    """Lightweight RTP packet for the scalar reference (duck-typed for
+    :class:`FirmwareBuffer`, which only reads ``size_bytes``)."""
+
+    __slots__ = ("size_bytes", "frame_id", "last")
+
+    def __init__(self, size_bytes: float, frame_id: int, last: bool):
+        self.size_bytes = size_bytes
+        self.frame_id = frame_id
+        self.last = last
+
+
+class _GridPacer:
+    """Scalar mirror of :class:`~repro.rate_control.pacer.PacedSender`.
+
+    Same token-bucket arithmetic, burst cap and stale-frame expiry, but
+    clocked by the lockstep tick loop and emitting ``(frame_id, size,
+    is_last)`` instead of full packet objects.
+    """
+
+    __slots__ = ("_payload", "_frames", "_budget", "_queued", "dropped_frames")
+
+    def __init__(self, payload_size: int):
+        self._payload = payload_size
+        #: deque of ``[frame_id, remaining_bytes]``.
+        self._frames: Deque[list] = deque()
+        self._budget = 0.0
+        self._queued = 0.0
+        self.dropped_frames = 0
+
+    def enqueue(self, frame_id: int, size_bytes: float) -> None:
+        self._frames.append([frame_id, size_bytes])
+        self._queued += size_bytes
+
+    def tick(self, rate: float, emit) -> None:
+        rate = max(0.0, rate)
+        if rate > 0.0:
+            max_bytes = rate * MAX_QUEUE_SECONDS / BITS_PER_BYTE
+            while self._queued > max_bytes and len(self._frames) > 1:
+                item = self._frames[1]
+                del self._frames[1]
+                self._queued -= item[1]
+                self.dropped_frames += 1
+        tick_budget = rate * PACING_TICK / BITS_PER_BYTE
+        burst_cap = max(MIN_BURST_BYTES, BURST_TICKS * tick_budget)
+        self._budget = min(self._budget + tick_budget, burst_cap)
+        while self._frames and self._budget > 0:
+            head = self._frames[0]
+            size = min(self._payload, head[1])
+            if size > self._budget:
+                break
+            self._budget -= size
+            head[1] -= size
+            self._queued -= size
+            last = head[1] <= 0
+            if last:
+                self._frames.popleft()
+            emit(head[0], size, last)
+
+
+class UplinkSession:
+    """Scalar reference engine for the uplink lockstep profile.
+
+    One master event per 1 ms subframe on the event-driven
+    :class:`Simulation`; every phase of the tick runs in a fixed order
+    the batched engine replays with arrays (see the phase comments in
+    :meth:`_tick`).
+    """
+
+    def __init__(self, config: SessionConfig):
+        self.config = config
+        self.profile = UplinkProfile.from_config(config)
+        self.sim = Simulation()
+        self.log = SessionLog()
+        registry = RngRegistry(config.seed)
+        stream = lambda name: registry.stream("batch." + name)  # noqa: E731
+
+        profile = self.profile
+        lte = config.lte
+        self._channel = GridChannel(lte.channel, stream)
+        self._cell = GridCellLoad(lte.cell, stream)
+        self._sched = GridScheduler(lte, stream)
+        self._fw = FirmwareBuffer(lte.firmware_buffer_cap)
+        self._bsr: Deque[float] = deque([0.0] * profile.bsr_depth, maxlen=profile.bsr_depth)
+        self._pacer = _GridPacer(config.video.rtp_payload)
+        self._noise = BlockStream(
+            stream("frame.noise"), lognormal_transform(config.video.size_sigma_base)
+        )
+        self._receiver = ReceiverState(config.video, stream("recv"))
+
+        fbcc = config.fbcc
+        self._bandwidth = TbsBandwidthEstimator(fbcc.tbs_window_subframes)
+        self._detector = CongestionDetector(fbcc, report_interval=profile.diag_interval)
+        self._ramp = FallbackRamp(
+            config.gcc.start_rate,
+            config.gcc.min_rate,
+            config.gcc.max_rate,
+            config.gcc.beta,
+            profile.ramp_growth,
+        )
+        self._encoding = EncodingRateControl(
+            fbcc, gcc_rate=lambda: self._ramp.rate, rtt=lambda: profile.rtt
+        )
+        self._rtp = RtpRateControl(
+            fbcc,
+            config.gcc.start_rate,
+            profile.diag_interval,
+            video_rate=lambda: self._encoding.rate(self._now),
+        )
+
+        #: frame_id -> [capture_s, size_bytes, damaged]
+        self._frame_table: Dict[int, list] = {}
+        self._next_frame_id = 0
+        self._frame_index = 0
+        #: (done_tick, frame_id, size_bytes) encoder pipeline FIFO.
+        self._encoding_pipe: Deque[Tuple[int, int, float]] = deque()
+        #: arrival_tick -> [(frame_id, size_bytes, is_last), ...]
+        self._in_flight: Dict[int, List[Tuple[int, float, bool]]] = {}
+        self._diag_records: List[DiagRecord] = []
+        self._ramp_seen_drops = 0
+        self._sec_tbs = 0.0
+        self._sec_level_sum = 0.0
+        self._sec_count = 0
+        self._last_flush_k = 0
+        self._baseline_fw_drops = 0
+        self._baseline_pacer_drops = 0
+        self._k = 0
+        self._now = 0.0
+        self._total_ticks = 0
+        self._warm_ticks = 0
+
+    # -- packet emission (pacer -> firmware buffer) --------------------
+
+    def _emit(self, frame_id: int, size: float, last: bool) -> None:
+        if not self._fw.push(_Pkt(size, frame_id, last)):
+            entry = self._frame_table[frame_id]
+            if not entry[2]:
+                entry[2] = True
+                self.log.frames_lost += 1
+            if last:
+                self._frame_table.pop(frame_id, None)
+
+    # -- the master tick ------------------------------------------------
+
+    def _tick(self) -> None:
+        profile = self.profile
+        self._k = k = self._k + 1
+        self._now = now = k * MS
+        log = self.log
+
+        # 1. packet arrivals scheduled deliver_ticks ago
+        arrivals = self._in_flight.pop(k, None)
+        if arrivals is not None:
+            table = self._frame_table
+            for frame_id, size, last in arrivals:
+                log.arrivals.append((now, size))
+                if last:
+                    entry = table.pop(frame_id, None)
+                    if entry is not None and not entry[2]:
+                        self._receiver.on_frame_complete(now, entry[0], entry[1])
+
+        # 2. display frames whose playout deadline passed
+        if self._receiver.next_display <= now:
+            self._receiver.flush(now, log)
+
+        # 3./4. channel and cell dynamics
+        if k % profile.chan_ticks == 0:
+            self._channel.update(now)
+        if k % profile.cell_ticks == 0:
+            self._cell.update()
+
+        # 5. diag batch delivery (before this tick's subframe record)
+        if k % profile.diag_ticks == 0 and self._diag_records:
+            self._deliver_diag(k, now)
+
+        # 6. frames leaving the encoder join the pacer queue
+        pipe = self._encoding_pipe
+        while pipe and pipe[0][0] == k:
+            _, frame_id, size_bytes = pipe.popleft()
+            self._pacer.enqueue(frame_id, size_bytes)
+
+        # 7. pacing tick
+        if k % profile.pacer_ticks == 0:
+            self._pacer.tick(self._rtp.rate, self._emit)
+
+        # 8. LTE subframe: BSR, grant, drain, diag record
+        fw = self._fw
+        ring = self._bsr
+        reported = ring[0]
+        level = fw.level
+        ring.append(level)
+        grant = self._sched.grant_for_subframe(
+            reported, level, self._channel.cqi(now), self._cell.load
+        )
+        tbs = 0.0
+        if grant > 0.0:
+            completed = fw.drain(grant)
+            tbs = level - fw.level
+            if completed:
+                slot = self._in_flight.setdefault(k + profile.deliver_ticks, [])
+                for pkt in completed:
+                    slot.append((pkt.frame_id, pkt.size_bytes, pkt.last))
+            level = fw.level
+        self._diag_records.append(DiagRecord(now, level, tbs))
+
+        # 9. frame capture
+        if k % profile.frame_ticks == 0:
+            rate_v = self._encoding.rate(now)
+            size = rate_v * profile.frame_interval * self._noise.next()
+            if self._frame_index % profile.kf_frames == 0:
+                size = size * self.config.video.keyframe_factor
+            self._frame_index += 1
+            size_bytes = size / BITS_PER_BYTE
+            frame_id = self._next_frame_id
+            self._next_frame_id += 1
+            self._frame_table[frame_id] = [now, size_bytes, False]
+            pipe.append((k + profile.encode_ticks, frame_id, size_bytes))
+            log.frames_sent += 1
+            log.sent_bits += size_bytes * BITS_PER_BYTE
+
+        # 10. rate / buffer trace samples
+        if k % SAMPLE_TICKS == 0:
+            log.rate_trace.append((now, self._encoding.rate(now), self._rtp.rate))
+            log.buffer_levels.append((now, fw.level))
+
+        # 11. end of warm-up: drop everything measured so far
+        if k == self._warm_ticks:
+            log.reset()
+            self._receiver.reset_measurement()
+            log.start_time = now
+            self._baseline_fw_drops = fw.dropped_packets
+            self._baseline_pacer_drops = self._pacer.dropped_frames
+
+        if k < self._total_ticks:
+            self.sim.at((k + 1) * MS, self._tick)
+
+    def _deliver_diag(self, k: int, now: float) -> None:
+        batch = self._diag_records
+        self._diag_records = []
+        self._bandwidth.on_batch(batch)
+        congested = self._detector.on_batch(batch)
+        if congested:
+            self._encoding.on_congestion(self._bandwidth.rate_bps, now)
+        self._rtp.on_batch(batch, self._bandwidth.rate_bps)
+        drops = self._fw.dropped_packets
+        self._ramp.on_batch(
+            drops - self._ramp_seen_drops, congested, self._encoding.held_rate
+        )
+        self._ramp_seen_drops = drops
+        for record in batch:
+            self._sec_tbs += record.tbs_bytes
+            self._sec_level_sum += record.buffer_bytes
+            self._sec_count += 1
+        if k - self._last_flush_k >= 1000:
+            mean_level = (
+                self._sec_level_sum / self._sec_count if self._sec_count else 0.0
+            )
+            self.log.diag_seconds.append((self._sec_tbs * BITS_PER_BYTE, mean_level))
+            self._sec_tbs = 0.0
+            self._sec_level_sum = 0.0
+            self._sec_count = 0
+            self._last_flush_k = k
+
+    # -- public API ------------------------------------------------------
+
+    def run(self, duration: Optional[float] = None, warmup: float = 0.0) -> SessionResult:
+        """Run the profile and return logs + summary (reference engine)."""
+        duration = duration if duration is not None else self.config.duration
+        if not _ms_aligned(duration) or not _ms_aligned(warmup):
+            raise ValueError("duration and warmup must be on the 1 ms grid")
+        self._warm_ticks = _ticks(warmup)
+        self._total_ticks = self._warm_ticks + _ticks(duration)
+        if self._total_ticks > 0:
+            self.sim.at(MS, self._tick)
+            self.sim.run(self._total_ticks * MS)
+        log = self.log
+        self._receiver.finalise(log)
+        log.congestion_events = self._encoding.congestion_events
+        log.packets_lost += self._fw.dropped_packets - self._baseline_fw_drops
+        log.frames_lost += self._pacer.dropped_frames - self._baseline_pacer_drops
+        summary = SessionSummary.from_log(
+            log,
+            scheme=self.config.scheme,
+            transport=self.config.transport,
+            duration=duration,
+            freeze_threshold=self.config.freeze_threshold,
+        )
+        return SessionResult(config=self.config, summary=summary, log=log)
+
+
+def run_uplink_session(
+    config: SessionConfig, duration: Optional[float] = None, warmup: float = 0.0
+) -> SessionResult:
+    """Build and run one scalar lockstep-profile session."""
+    return UplinkSession(config).run(duration, warmup=warmup)

@@ -232,3 +232,75 @@ def test_every_while_cancel_stops_process():
     sim.run(0.05)
     assert count["n"] == 5
     assert sim.pending() == 0
+
+
+def test_every_while_wake_at_exactly_now_fires_within_instant():
+    """A wake whose pending tick lands exactly on the current instant
+    must fire that tick *within* the instant, not skip past it."""
+    sim = Simulation()
+    times = []
+
+    def tick():
+        times.append(sim.now)
+        return False  # pause after every tick
+
+    handle = sim.every_while(0.010, tick)
+    # Tick 1 fires at 0.01 and pauses; next_time is then exactly 0.02.
+    # A wake arriving at exactly 0.02 must fire the 0.02 tick within
+    # that instant (the ``nxt < now`` loop must not consume an instant
+    # equal to now).
+    sim.schedule(0.020, handle.wake)
+    sim.run(0.020)
+    assert times == [0.010, 0.020]
+    assert handle.paused and handle.next_time == 0.030
+
+
+def test_every_while_skip_preserves_float_accumulated_grid():
+    """skip() while paused must land on the same float-accumulated
+    instants an always-ticking process visits — no rounding shortcut."""
+    period = 0.003  # not exactly representable: accumulation drifts
+    reference = Simulation()
+    expected = []
+    reference.every(period, lambda: expected.append(reference.now))
+    reference.run(0.1)
+
+    sim = Simulation()
+    times = []
+
+    def tick():
+        times.append(sim.now)
+        return len(times) < 2  # pause after the second tick
+
+    handle = sim.every_while(period, tick)
+    sim.run(0.1)
+    assert handle.paused
+    # Consume ten idle ticks; each skip must advance by exactly one
+    # accumulated period (k * period recomputed fresh would differ in
+    # the last ulp for several of these instants).
+    skipped = []
+    for _ in range(10):
+        skipped.append(handle.next_time)
+        handle.skip()
+    assert skipped == expected[2:12]
+    assert handle.next_time == expected[12]
+
+
+def test_every_while_cancel_while_paused_stays_cancelled():
+    """cancel() on a paused handle must stick: a later wake() must not
+    resurrect the process or touch the event heap."""
+    sim = Simulation()
+    count = {"n": 0}
+
+    def tick():
+        count["n"] += 1
+        return False  # pause immediately after the first tick
+
+    handle = sim.every_while(0.01, tick)
+    sim.run(0.05)
+    assert count["n"] == 1 and handle.paused
+    handle.cancel()
+    assert sim.pending() == 0
+    handle.wake()  # must be a no-op on a cancelled handle
+    assert sim.pending() == 0
+    sim.run(0.05)
+    assert count["n"] == 1

@@ -38,6 +38,15 @@ from pathlib import Path
 #: run-to-run variance dwarfs any real change.
 RATIO_CLAMP = 8.0
 
+#: Per-ratio clamp overrides.  The batched-engine headline measures
+#: ~13-15x (the PR that added it targets >=10x), so the default 8x
+#: clamp would blind the gate to a collapse from 13x to 8x; clamping at
+#: 12x keeps the 10x design floor inside the gated range while still
+#: ignoring noise above it.
+RATIO_CLAMPS = {
+    "batch.batched_speedup": 12.0,
+}
+
 #: Default allowed fractional regression before the gate fails.
 DEFAULT_TOLERANCE = 0.30
 
@@ -57,6 +66,9 @@ def tracked_ratios(record: dict) -> dict:
     vs_seed = record.get("single_session_vs_seed")
     if vs_seed is not None:
         ratios["single_session_vs_seed"] = float(vs_seed)
+    batch = record.get("batch")
+    if batch and batch.get("batched_speedup") is not None:
+        ratios["batch.batched_speedup"] = float(batch["batched_speedup"])
     return ratios
 
 
@@ -76,8 +88,9 @@ def compare(fresh: dict, baseline: dict, tolerance: float = DEFAULT_TOLERANCE) -
         if fresh_value is None:
             failures.append(f"{name}: missing from fresh record (baseline {base_value})")
             continue
-        base_clamped = min(base_value, RATIO_CLAMP)
-        fresh_clamped = min(fresh_value, RATIO_CLAMP)
+        clamp = RATIO_CLAMPS.get(name, RATIO_CLAMP)
+        base_clamped = min(base_value, clamp)
+        fresh_clamped = min(fresh_value, clamp)
         floor = base_clamped * (1.0 - tolerance)
         if fresh_clamped < floor:
             failures.append(
