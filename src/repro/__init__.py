@@ -23,6 +23,7 @@ from repro.config import (
     DownlinkConfig,
     FbccConfig,
     FecConfig,
+    FleetConfig,
     GccConfig,
     LteConfig,
     PathConfig,
@@ -47,6 +48,7 @@ from repro.obs import (
     TraceEvent,
 )
 from repro.roi.users import USER_PROFILES, UserProfile, profile_by_name
+from repro.telephony.fleet import CellResult, CellSession, member_configs, run_cell
 from repro.telephony.session import SessionResult, TelephonySession, run_session
 
 __version__ = "1.0.0"
@@ -58,6 +60,7 @@ __all__ = [
     "DownlinkConfig",
     "FbccConfig",
     "FecConfig",
+    "FleetConfig",
     "GccConfig",
     "LteConfig",
     "PathConfig",
@@ -82,6 +85,10 @@ __all__ = [
     "TraceEvent",
     "TelephonySession",
     "run_session",
+    "CellResult",
+    "CellSession",
+    "member_configs",
+    "run_cell",
     "USER_PROFILES",
     "UserProfile",
     "profile_by_name",

@@ -11,6 +11,9 @@ Subcommands:
                 registries into one fleet registry and prints a summary
                 table, histogram sketches and span timings (or exports
                 OpenMetrics / JSON with ``--format``);
+- ``fleet``     multi-UE shared-cell capacity sweep — calls-per-cell
+                vs. MOS/rate/delay plus per-cell Jain fairness, whole
+                cells sharded across workers (see docs/FLEET.md);
 - ``sweep``     every (scheme, transport) combination on one scenario;
 - ``scenarios`` list the named scenarios;
 - ``report``    the full paper-vs-measured report (delegates to
@@ -223,6 +226,91 @@ def cmd_metrics(args) -> int:
     return 0
 
 
+def cmd_fleet(args) -> int:
+    from repro.experiments.fleet import deterministic_registry_dict, fleet_sweep
+    from repro.experiments.parallel import resolve_jobs
+
+    if args.transport == "fbcc" and args.scenario == "wireline":
+        print("error: FBCC needs the LTE diagnostic interface", file=sys.stderr)
+        return 2
+    try:
+        calls = [int(v) for v in args.calls.split(",") if v.strip()]
+    except ValueError:
+        print(f"error: --calls must be integers, got {args.calls!r}", file=sys.stderr)
+        return 2
+    if not calls or any(v < 1 for v in calls):
+        print("error: --calls values must be >= 1", file=sys.stderr)
+        return 2
+    meter = bool(args.metrics_output) or args.meter
+
+    def _progress(done: int, total: int, _result) -> None:
+        print(f"  cell {done}/{total} done", file=sys.stderr)
+
+    sweep = fleet_sweep(
+        args.scenario,
+        calls=calls,
+        cells=args.cells,
+        scheme=args.scheme,
+        transport=args.transport,
+        duration=args.duration,
+        warmup=args.warmup,
+        seed=args.seed,
+        background_ues=args.background_ues,
+        background_load=args.background_load,
+        prb_budget=args.prb_budget,
+        rotate_profiles=args.rotate_profiles,
+        jobs=args.jobs,
+        meter=meter,
+        progress=_progress if args.progress else None,
+    )
+    rows = [point.to_dict() for point in sweep.points]
+    if args.json:
+        payload = {
+            "scenario": args.scenario,
+            "scheme": args.scheme,
+            "transport": args.transport,
+            "cells": args.cells,
+            "points": rows,
+            "cell_jains": [
+                [round(cell.jain, 6) for cell in group] for group in sweep.cells
+            ],
+        }
+        print(json.dumps(payload, indent=1))
+    else:
+        print(
+            f"scenario={args.scenario} scheme={args.scheme} "
+            f"transport={args.transport} cells={args.cells} "
+            f"prb_budget={args.prb_budget} "
+            f"background={args.background_ues}@{args.background_load:g} "
+            f"workers={resolve_jobs(args.jobs)}"
+        )
+        keys = list(rows[0].keys())
+        widths = {k: max(len(k), max(len(str(r[k])) for r in rows)) for k in keys}
+        print("  ".join(k.ljust(widths[k]) for k in keys))
+        for row in rows:
+            print("  ".join(str(row[k]).ljust(widths[k]) for k in keys))
+        print("\nper-cell Jain fairness")
+        for point, group in zip(sweep.points, sweep.cells):
+            jains = " ".join(f"{cell.jain:.4f}" for cell in group)
+            print(f"  calls={point.ues:<4} {jains}")
+        print("\ncalls-per-cell vs mean MOS")
+        print(
+            bar_chart(
+                [str(point.ues) for point in sweep.points],
+                [
+                    0.0 if point.mos_mean != point.mos_mean else point.mos_mean
+                    for point in sweep.points
+                ],
+            )
+        )
+    if args.metrics_output:
+        with open(args.metrics_output, "w") as handle:
+            json.dump(deterministic_registry_dict(sweep.meter), handle, indent=1)
+            handle.write("\n")
+        print(f"fleet registry written to {args.metrics_output}", file=sys.stderr)
+    return 0
+
+
 def cmd_sweep(args) -> int:
     rows = []
     for scheme in SCHEMES:
@@ -413,6 +501,82 @@ def build_parser() -> argparse.ArgumentParser:
         help="print per-session completion lines to stderr",
     )
     metrics_parser.set_defaults(func=cmd_metrics)
+
+    fleet_parser = sub.add_parser(
+        "fleet", help="multi-UE shared-cell capacity sweep (docs/FLEET.md)"
+    )
+    fleet_parser.add_argument(
+        "--scenario", default="cellular", choices=sorted(SCENARIOS)
+    )
+    fleet_parser.add_argument("--scheme", default="poi360", choices=SCHEMES)
+    fleet_parser.add_argument("--transport", default="fbcc", choices=TRANSPORTS)
+    fleet_parser.add_argument("--duration", type=float, default=30.0)
+    fleet_parser.add_argument("--warmup", type=float, default=5.0)
+    fleet_parser.add_argument("--seed", type=int, default=1)
+    fleet_parser.add_argument(
+        "--calls",
+        default="1,2,4,8",
+        metavar="N[,N...]",
+        help="calls-per-cell values to sweep (default 1,2,4,8)",
+    )
+    fleet_parser.add_argument(
+        "--cells",
+        type=int,
+        default=1,
+        help="independent cells per calls-per-cell value (default 1)",
+    )
+    fleet_parser.add_argument(
+        "--prb-budget",
+        type=int,
+        default=50,
+        help="PRBs one cell can grant per 1 ms subframe (default 50; "
+        "smaller models a narrower carrier)",
+    )
+    fleet_parser.add_argument(
+        "--background-ues",
+        type=int,
+        default=0,
+        help="scheduled background UEs sharing each cell (default 0)",
+    )
+    fleet_parser.add_argument(
+        "--background-load",
+        type=float,
+        default=0.2,
+        help="long-run load fraction of the background population "
+        "(only with --background-ues > 0)",
+    )
+    fleet_parser.add_argument(
+        "--rotate-profiles",
+        action="store_true",
+        help="rotate the named user profiles across a cell's members "
+        "(default: identical callers)",
+    )
+    fleet_parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes; whole cells shard (0 = all cores; "
+        "default: REPRO_JOBS or serial)",
+    )
+    fleet_parser.add_argument("--json", action="store_true")
+    fleet_parser.add_argument(
+        "--meter",
+        action="store_true",
+        help="attach per-cell/per-member meters (implied by --metrics-output)",
+    )
+    fleet_parser.add_argument(
+        "--metrics-output",
+        metavar="FILE.json",
+        default=None,
+        help="write the merged fleet registry (counters + histograms "
+        "only — deterministic, serial == sharded) as JSON",
+    )
+    fleet_parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="print per-cell completion lines to stderr",
+    )
+    fleet_parser.set_defaults(func=cmd_fleet)
 
     sweep_parser = sub.add_parser("sweep", help="all scheme/transport combos")
     _add_session_args(sweep_parser)

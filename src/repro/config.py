@@ -474,6 +474,45 @@ class SessionConfig:
         return 1.0 / self.video.fps
 
 
+# ---------------------------------------------------------------------------
+# Fleet (multi-UE shared cell)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """One shared eNodeB uplink cell carrying N POI360 callers.
+
+    Consumed by :class:`repro.telephony.fleet.CellSession` /
+    :class:`repro.lte.shared_cell.SharedCell`; the contention model and
+    grant-splitting semantics are documented in docs/FLEET.md.
+    """
+
+    #: POI360 callers sharing the cell (each a full telephony session).
+    ues: int = 4
+    #: Uplink physical resource blocks the cell can grant per 1 ms
+    #: subframe, shared by the callers and the scheduled background
+    #: traffic (10 MHz LTE: 50 PRBs).
+    prb_budget: int = 50
+    #: Time constant (s) of the per-caller realized-share EWMA that
+    #: feeds the proportional-fair coupling.
+    share_time_constant: float = 0.25
+    #: Exponent of the PF catch-up weight ``(mean_share/own_share)^k``:
+    #: 0 disables the catch-up boost, 1 is classic proportional fair.
+    pf_weight_exponent: float = 1.0
+    #: The PF weight is clamped into ``[1/pf_weight_max, pf_weight_max]``.
+    pf_weight_max: float = 4.0
+    #: When positive, this many explicit on/off background UEs
+    #: (:mod:`repro.lte.competitors`) are scheduled inside the cell and
+    #: claim PRBs from the shared budget before the callers do.
+    background_ues: int = 0
+    #: Long-run fraction of the cell the background UEs aim to occupy.
+    background_load: float = 0.0
+    #: Seed of the cell-level random streams (background traffic only;
+    #: each caller keeps its own :class:`SessionConfig.seed`).
+    seed: int = 0
+
+
 #: Compression scheme names accepted by :class:`SessionConfig`.
 SCHEMES: Tuple[str, ...] = ("poi360", "conduit", "pyramid")
 

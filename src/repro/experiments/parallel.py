@@ -102,16 +102,85 @@ class SessionTask:
         return session.run(self.duration, warmup=self.warmup)
 
 
-def _run_task(task: SessionTask) -> SessionResult:
+@dataclass(frozen=True)
+class CellTask:
+    """Everything a worker process needs to run one shared cell.
+
+    The fleet analogue of :class:`SessionTask`: one task is one
+    :class:`repro.telephony.fleet.CellSession` of ``ues`` callers, so a
+    city-scale sweep shards *cells* across the process pool — members of
+    one cell must share a clock and cannot be split.  Like
+    :class:`SessionTask` it carries only plain values and the worker
+    rebuilds the configs, keeping sharded results bit-identical to
+    serial ones.
+    """
+
+    scenario_name: str
+    scheme: str
+    transport: str
+    duration: float
+    warmup: float
+    #: Base seed of the cell; member ``i`` runs at ``seed + 1000*i``.
+    seed: int
+    ues: int
+    background_ues: int = 0
+    background_load: float = 0.0
+    prb_budget: int = 50
+    #: Rotate the named user profiles across members (member ``i`` gets
+    #: ``USER_PROFILES[i % len]``); False runs identical callers.
+    rotate_profiles: bool = False
+    meter: bool = False
+
+    def run(self):
+        """Build the cell and run it (current process) → ``CellResult``."""
+        from repro.config import FleetConfig
+        from repro.roi.users import USER_PROFILES
+        from repro.telephony.fleet import CellSession, member_configs
+        from repro.traces.scenarios import scenario
+
+        base = scenario(
+            self.scenario_name,
+            scheme=self.scheme,
+            transport=self.transport,
+            duration=self.duration,
+            seed=self.seed,
+        )
+        profiles = None
+        if self.rotate_profiles:
+            profiles = [
+                USER_PROFILES[index % len(USER_PROFILES)]
+                for index in range(self.ues)
+            ]
+        fleet = FleetConfig(
+            ues=self.ues,
+            prb_budget=self.prb_budget,
+            background_ues=self.background_ues,
+            background_load=self.background_load,
+            seed=self.seed,
+        )
+        cell = CellSession(
+            member_configs(base, self.ues),
+            profiles=profiles,
+            fleet=fleet,
+            meter=self.meter,
+        )
+        return cell.run(self.duration, warmup=self.warmup)
+
+
+def _run_task(task):
     return task.run()
 
 
 def run_tasks(
-    tasks: Sequence[SessionTask],
+    tasks: Sequence,
     jobs: Optional[int] = None,
     progress: Optional[ProgressCallback] = None,
-) -> List[SessionResult]:
+) -> List:
     """Run tasks, fanning across processes; results are in task order.
+
+    Tasks are anything with a picklable ``.run()`` — per-session
+    :class:`SessionTask` or per-cell :class:`CellTask` (whole cells are
+    the sharding unit for fleet sweeps).
 
     Falls back to serial execution — no pool spin-up, no pickling —
     whenever a pool cannot win: one effective worker or at most one
@@ -134,7 +203,7 @@ def run_tasks(
         or len(tasks) < workers
     )
     total = len(tasks)
-    results: List[SessionResult] = []
+    results: List = []
     if serial:
         for task in tasks:
             result = task.run()
@@ -153,11 +222,14 @@ def run_tasks(
 
 
 def merged_meter(
-    results: Sequence[SessionResult],
+    results: Sequence,
     workers: int = 1,
     cache_counters: Optional[dict] = None,
 ) -> SessionMeter:
-    """Fold per-session meters into one fleet-level registry.
+    """Fold per-session (or per-cell) meters into one fleet registry.
+
+    Accepts anything with a ``.meter`` attribute — ``SessionResult`` or
+    ``CellResult`` (whose meter already carries its members' totals).
 
     Counters and histogram buckets sum elementwise, spans accumulate, so
     the merged view of a parallel sweep equals the serial one exactly

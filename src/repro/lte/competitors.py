@@ -9,7 +9,26 @@ emergent load is burstier and heavier-tailed than the OU abstraction,
 which matters for the busy-cell experiments (Fig. 17a/b): a noon
 campus cell is a crowd of phones, not a smooth fluid.
 
-Select it with ``CellConfig.competitor_count > 0``.
+The population is consumed in two modes:
+
+- **Abstract drain** (single-UE sessions): select it with
+  ``CellConfig.competitor_count > 0`` and
+  :func:`make_cell_model` returns a :class:`CompetitorCell` in place of
+  the Gauss-Markov process.  The tracked UE's scheduler reads ``load``
+  and shrinks its own duty cycle and PRB grant accordingly — the
+  competitors never hold PRBs themselves.
+- **Scheduled load** (multi-UE shared cells, docs/FLEET.md): a
+  :class:`repro.lte.shared_cell.SharedCell` built with
+  ``FleetConfig.background_ues > 0`` owns one cell-level
+  :class:`CompetitorCell` and, each 1 ms subframe, converts its ``load``
+  fraction into whole PRBs claimed from the shared budget *before* any
+  member's grant — the crowd occupies real cell resources that the
+  POI360 callers can no longer be granted.
+
+Duty-cycle math: each competitor holds exponential on/off sessions
+with a mean on-time drawn per UE; the mean off-time is derived by
+:func:`mean_off_for_duty` so the long-run activity fraction matches
+the configured ``background_load``, however long the UE's sessions are.
 """
 
 from __future__ import annotations
@@ -25,6 +44,24 @@ from repro.sim.engine import Simulation
 UPDATE_INTERVAL = 0.05
 
 
+def mean_off_for_duty(mean_on: float, duty: float) -> float:
+    """Mean off-time giving an on/off UE a long-run duty cycle ``duty``.
+
+    An alternating-renewal process is active a fraction
+    ``E[on] / (E[on] + E[off])`` of the time; solving for ``E[off]``
+    gives ``E[on] * (1 - duty) / duty`` (duty floored at 1e-3 so a
+    zero-load config yields long but finite off-times).
+
+    >>> mean_off_for_duty(6.0, 0.5)
+    6.0
+    >>> mean_off_for_duty(9.0, 0.25)
+    27.0
+    >>> round(6.0 / (6.0 + mean_off_for_duty(6.0, 0.2)), 3)  # realised duty
+    0.2
+    """
+    return mean_on * (1.0 - duty) / max(1e-3, duty)
+
+
 class _CompetitorUe:
     """One background UE: on/off traffic with exponential holding times."""
 
@@ -35,8 +72,7 @@ class _CompetitorUe:
         #: most poke at short flows).
         self.weight = float(rng.lognormal(0.0, 0.6))
         self._mean_on = float(rng.uniform(2.0, 15.0))
-        # Mean off time set so the long-run duty cycle ≈ ``duty``.
-        self._mean_off = self._mean_on * (1.0 - duty) / max(1e-3, duty)
+        self._mean_off = mean_off_for_duty(self._mean_on, duty)
         self.active = rng.random() < duty
         self._until = 0.0
 

@@ -61,6 +61,9 @@ class EnbScheduler:
         self._config = config
         self._channel = channel
         self._cell = cell
+        #: Optional per-subframe PRB budget hook (shared cells only);
+        #: ``None`` keeps the solo grant arithmetic untouched.
+        self._cell_claim = None
         self._rng = rng
         self._uniforms = rng.random(_BATCH)
         self._cursor = 0
@@ -84,6 +87,17 @@ class EnbScheduler:
         self._cursor += 1
         return value
 
+    def set_cell(self, cell) -> None:
+        """Re-point the load source (e.g. a shared cell's member view).
+
+        When the new cell exposes ``claim_prbs`` — a
+        :class:`repro.lte.shared_cell.CellMemberView` does — the grant
+        path additionally claims its PRBs from the cell's per-subframe
+        budget, so members of one cell cannot jointly exceed it.
+        """
+        self._cell = cell
+        self._cell_claim = getattr(cell, "claim_prbs", None)
+
     def effective_prbs(self, load: float) -> int:
         """PRBs our UE is granted when scheduled, given the cell load."""
         return max(2, int(round(self._prb_quota * (2.0 - load))))
@@ -104,7 +118,15 @@ class EnbScheduler:
         )
         if not self._in_service_burst(probability):
             return 0.0
-        capacity = transport_block_bytes(cqi, self.effective_prbs(load))
+        prbs = self.effective_prbs(load)
+        if self._cell_claim is not None:
+            # Shared cell: the PF share is only an *entitlement* — the
+            # subframe's remaining PRB budget caps what is actually
+            # granted (claims by peers and background UEs come first).
+            prbs = self._cell_claim(prbs)
+            if prbs <= 0:
+                return 0.0
+        capacity = transport_block_bytes(cqi, prbs)
         fading = float(np.exp(self._rng.normal(0.0, self._fading_sigma)))
         return min(actual_backlog, capacity * fading)
 

@@ -1,0 +1,287 @@
+"""One eNodeB uplink cell shared by N POI360 callers (docs/FLEET.md).
+
+A :class:`SharedCell` couples the member UEs of one cell through the
+two quantities a proportional-fair uplink scheduler actually splits:
+
+- **duty cycle** — every member's :class:`repro.lte.scheduler.EnbScheduler`
+  reads its cell load through a :class:`CellMemberView`, and the view
+  folds the *other* members' realized resource shares (an EWMA of the
+  PRB fraction each one consumed) into the load it reports, on top of
+  the background component.  A cell crowded with backlogged callers
+  therefore shrinks everybody's scheduling probability and PRB grant,
+  exactly as ``p = p_max * (1 - load)`` does for the abstract load;
+- **PRBs per subframe** — a hard per-subframe budget
+  (:attr:`repro.config.FleetConfig.prb_budget`).  Scheduled background
+  UEs (:mod:`repro.lte.competitors`) claim their PRBs first, then each
+  member's grant claims from the remainder, so a subframe can never
+  hand out more transport-block capacity than the cell owns.
+
+The view also applies a proportional-fair catch-up weight
+``w = (mean_share / own_share) ** k`` (clamped): a member that has been
+starved sees an optimistically *lower* load — higher duty cycle and
+more PRBs — until its share recovers, while a hog is throttled.  This
+is the negative feedback that makes N identical callers converge to
+equal long-run grant shares (Jain index ≈ 1, ``tests/test_fleet.py``).
+
+Degeneration contract: with one member and no scheduled background the
+view returns the member's own background model value untouched, every
+claim is granted in full, and the weight is exactly ``1.0`` — a 1-UE
+cell reproduces the single-UE session **bit-exactly** (asserted in
+``tests/test_fleet.py``).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional
+
+import numpy as np
+
+from repro.config import CellConfig, FleetConfig
+from repro.sim.engine import Simulation
+from repro.units import LTE_SUBFRAME
+
+#: Loads are clamped into this range, matching the single-UE cell
+#: models (a PF scheduler still serves backlogged UEs at full cell).
+LOAD_MAX = 0.9
+
+#: Share denominator guard; also the "never seen a grant" floor of the
+#: PF weight ratio (a member with zero share is maximally boosted).
+_SHARE_EPS = 1e-6
+
+
+class _Member:
+    """Per-caller state the cell tracks: realized share + fallback load."""
+
+    __slots__ = ("fallback", "share", "last_update")
+
+    def __init__(self, fallback):
+        #: The member UE's own background-load model (``UeUplink.cell``)
+        #: — the Gauss-Markov / competitor abstraction it would have
+        #: consulted solo.  Used as the background component when the
+        #: cell has no scheduled background population.
+        self.fallback = fallback
+        #: EWMA of the PRB fraction this member consumed per subframe.
+        self.share = 0.0
+        #: Simulated time of the last share decay/update.
+        self.last_update = 0.0
+
+
+class CellMemberView:
+    """One member's window onto the shared cell.
+
+    Duck-types the ``load`` property of
+    :class:`repro.lte.cell.CellLoadProcess`, so the member's
+    :class:`~repro.lte.scheduler.EnbScheduler` consumes it unchanged;
+    additionally exposes :meth:`claim_prbs`, which the scheduler uses
+    (when present) to draw PRBs from the cell's per-subframe budget.
+    """
+
+    __slots__ = ("_cell", "index")
+
+    def __init__(self, cell: "SharedCell", index: int):
+        self._cell = cell
+        self.index = index
+
+    @property
+    def load(self) -> float:
+        """Effective cell load this member's scheduler should see."""
+        return self._cell.load_for(self.index, self._cell._sim._now)
+
+    def claim_prbs(self, prbs: int) -> int:
+        """Claim up to ``prbs`` from this subframe's remaining budget."""
+        return self._cell.claim(self.index, prbs, self._cell._sim._now)
+
+
+class SharedCell:
+    """PF grant splitting across the POI360 callers camped on one cell."""
+
+    def __init__(
+        self,
+        sim: Simulation,
+        config: Optional[FleetConfig] = None,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        config = config if config is not None else FleetConfig()
+        self._sim = sim
+        self.config = config
+        self._members: List[_Member] = []
+        self._prb_budget = max(1, int(config.prb_budget))
+        tau = max(LTE_SUBFRAME, config.share_time_constant)
+        #: Per-subframe EWMA step of the realized-share tracker.
+        self._alpha = 1.0 - math.exp(-LTE_SUBFRAME / tau)
+        self._decay = 1.0 - self._alpha
+        self._kappa = max(0.0, config.pf_weight_exponent)
+        self._weight_max = max(1.0, config.pf_weight_max)
+        #: Subframe the current budget belongs to, and PRBs left in it.
+        self._budget_time = -1.0
+        self._budget_left = self._prb_budget
+        #: Aggregate-share snapshot (recomputed once per subframe).
+        self._agg_time = -1.0
+        self._agg_total = 0.0
+        self.background = None
+        if config.background_ues > 0:
+            if rng is None:
+                raise ValueError("scheduled background UEs need an rng stream")
+            from repro.lte.competitors import CompetitorCell
+
+            # The background crowd is *scheduled load*: its on/off
+            # population produces a load fraction, and the cell converts
+            # that fraction into PRBs claimed from the shared budget
+            # ahead of the members each subframe.
+            self.background = CompetitorCell(
+                sim,
+                CellConfig(
+                    background_load=config.background_load,
+                    competitor_count=config.background_ues,
+                ),
+                rng,
+            )
+
+    # ------------------------------------------------------------------
+    # Membership
+    # ------------------------------------------------------------------
+
+    def add_member(self, ue) -> CellMemberView:
+        """Register a caller's UE; returns its view onto the cell.
+
+        Normally called through :meth:`repro.lte.ue.UeUplink.join_cell`,
+        which also rewires the UE's scheduler onto the view.
+        """
+        index = len(self._members)
+        self._members.append(_Member(fallback=ue.cell))
+        return CellMemberView(self, index)
+
+    @property
+    def members(self) -> int:
+        """Number of callers camped on this cell."""
+        return len(self._members)
+
+    # ------------------------------------------------------------------
+    # Share bookkeeping
+    # ------------------------------------------------------------------
+
+    def _decay_to(self, member: _Member, now: float) -> float:
+        """Lazily decay a member's share EWMA to ``now`` and return it.
+
+        Idle or unserved subframes contribute zero share, so catching a
+        member up is a pure exponential decay over the elapsed
+        subframes — no per-tick work for paused uplinks.
+        """
+        elapsed = now - member.last_update
+        if elapsed > 0.0:
+            ticks = int(round(elapsed / LTE_SUBFRAME))
+            if ticks > 0:
+                member.share *= self._decay**ticks
+            member.last_update = now
+        return member.share
+
+    def _aggregate(self, now: float) -> float:
+        """Total decayed share across members (cached per subframe)."""
+        if now != self._agg_time:
+            total = 0.0
+            for member in self._members:
+                total += self._decay_to(member, now)
+            self._agg_total = total
+            self._agg_time = now
+        return self._agg_total
+
+    def share_of(self, index: int, now: Optional[float] = None) -> float:
+        """A member's current realized resource share (introspection)."""
+        now = self._sim._now if now is None else now
+        return self._decay_to(self._members[index], now)
+
+    def pf_weight(self, index: int, now: Optional[float] = None) -> float:
+        """The PF catch-up weight a member currently enjoys.
+
+        ``(mean_share / own_share) ** pf_weight_exponent``, clamped into
+        ``[1/pf_weight_max, pf_weight_max]``; exactly ``1.0`` for a
+        lone member (shares cancel), for perfectly equal shares, or
+        when the exponent is zero.
+        """
+        now = self._sim._now if now is None else now
+        total = self._aggregate(now)
+        count = len(self._members)
+        if count <= 1:
+            return 1.0
+        mine = self._members[index].share
+        ratio = (total / count + _SHARE_EPS) / (mine + _SHARE_EPS)
+        weight = ratio**self._kappa
+        if weight > self._weight_max:
+            return self._weight_max
+        floor = 1.0 / self._weight_max
+        if weight < floor:
+            return floor
+        return weight
+
+    # ------------------------------------------------------------------
+    # What a member's scheduler sees
+    # ------------------------------------------------------------------
+
+    def background_load(self, index: int) -> float:
+        """The background component of a member's load view."""
+        if self.background is not None:
+            return self.background.load
+        return self._members[index].fallback.load
+
+    def load_for(self, index: int, now: float) -> float:
+        """Effective load for member ``index`` at ``now``.
+
+        ``background + sum(peer shares)``, then shrunk (grown) by the
+        member's PF weight: ``1 - w * (1 - raw)``.  The weight branch is
+        skipped when ``w == 1.0`` so a lone member sees its background
+        model's value bit-for-bit.
+        """
+        total = self._aggregate(now)
+        member = self._members[index]
+        peers = total - member.share
+        if peers < 0.0:
+            # A claim bumped this member's share after the aggregate
+            # snapshot was taken this subframe; peers cannot be negative.
+            peers = 0.0
+        raw = self.background_load(index) + peers
+        if raw > LOAD_MAX:
+            raw = LOAD_MAX
+        weight = self.pf_weight(index, now)
+        if weight != 1.0:
+            boosted = 1.0 - weight * (1.0 - raw)
+            if boosted < 0.0:
+                return 0.0
+            if boosted > LOAD_MAX:
+                return LOAD_MAX
+            return boosted
+        return raw
+
+    # ------------------------------------------------------------------
+    # Per-subframe PRB budget
+    # ------------------------------------------------------------------
+
+    def _start_subframe(self, now: float) -> None:
+        budget = self._prb_budget
+        if self.background is not None:
+            # Scheduled background traffic claims its PRBs ahead of the
+            # members: the crowd's load fraction, in whole PRBs.
+            budget -= int(round(self._prb_budget * self.background.load))
+            if budget < 0:
+                budget = 0
+        self._budget_left = budget
+        self._budget_time = now
+
+    def claim(self, index: int, prbs: int, now: float) -> int:
+        """Grant up to ``prbs`` PRBs from this subframe's budget.
+
+        The first claim of a subframe resets the budget (minus the
+        scheduled background's take); later claims within the same
+        subframe see only what is left.  Within a subframe, members are
+        served in event order (attach order) — long-run fairness is the
+        PF coupling's job, not the intra-subframe order's.
+        """
+        if now != self._budget_time:
+            self._start_subframe(now)
+        granted = prbs if prbs <= self._budget_left else self._budget_left
+        if granted > 0:
+            self._budget_left -= granted
+            member = self._members[index]
+            self._decay_to(member, now)
+            member.share += self._alpha * (granted / self._prb_budget)
+        return granted

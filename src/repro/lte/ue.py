@@ -74,6 +74,18 @@ class UeUplink:
         """Attach the downstream path receiving transmitted packets."""
         self._sink = sink
 
+    def join_cell(self, cell):
+        """Camp this UE on a shared cell (repro.lte.shared_cell).
+
+        The UE's own cell-load model becomes the member's *background*
+        component inside the shared cell; the scheduler is re-pointed at
+        the member view so peer contention, PF catch-up weighting and
+        the per-subframe PRB budget all apply.  Returns the view.
+        """
+        self.cell_view = cell.add_member(self)
+        self.scheduler.set_cell(self.cell_view)
+        return self.cell_view
+
     def send(self, packet: Packet) -> bool:
         """Enqueue a paced RTP packet into the firmware buffer."""
         accepted = self.buffer.push(packet)

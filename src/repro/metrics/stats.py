@@ -65,6 +65,33 @@ def bootstrap_ci(
     )
 
 
+def jain_index(values: Sequence[float]) -> float:
+    """Jain's fairness index ``(Σx)² / (n·Σx²)`` over allocations.
+
+    1.0 means perfectly equal shares; ``1/n`` means one participant got
+    everything.  Used for the per-cell fairness of uplink grant bytes
+    across a shared cell's members (docs/FLEET.md).
+
+    >>> jain_index([1.0, 1.0, 1.0, 1.0])
+    1.0
+    >>> jain_index([1.0, 0.0, 0.0, 0.0])
+    0.25
+    >>> round(jain_index([4.0, 1.0]), 4)
+    0.7353
+    """
+    array = np.asarray(values, dtype=float)
+    if array.size == 0:
+        raise ValueError("need at least one allocation")
+    if np.any(array < 0.0):
+        raise ValueError("allocations must be non-negative")
+    square_sum = float(np.sum(array) ** 2)
+    sum_squares = float(array.size * np.sum(array**2))
+    if sum_squares == 0.0:
+        # All-zero allocations: everyone got the same (nothing).
+        return 1.0
+    return square_sum / sum_squares
+
+
 def welch_t(
     a: Sequence[float], b: Sequence[float]
 ) -> Tuple[float, float]:

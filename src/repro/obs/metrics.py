@@ -220,6 +220,37 @@ _SPECS = (
         "repro.experiments.parallel.merged_meter",
         "Task-order index of the slowest merged session.",
     ),
+    MetricSpec(
+        "fleet.cells", "counter", "fleet", "",
+        "repro.telephony.fleet.CellSession.run",
+        "Shared-cell sessions run to completion.",
+    ),
+    MetricSpec(
+        "fleet.cell_members", "histogram", "fleet", "",
+        "repro.telephony.fleet.CellSession.run",
+        "Distribution of POI360 callers per shared cell.",
+        buckets=(1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0),
+    ),
+    MetricSpec(
+        "fleet.cell_jain", "histogram", "fleet", "",
+        "repro.telephony.fleet.CellSession.run",
+        "Jain fairness of post-warmup uplink grant bytes across a "
+        "cell's members.",
+        buckets=(0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 0.99, 1.0),
+    ),
+    MetricSpec(
+        "fleet.member_mos", "histogram", "fleet", "",
+        "repro.telephony.fleet.CellSession.run",
+        "Distribution of the per-caller expected MOS (Table 1 bands "
+        "scored 1-5).",
+        buckets=(1.0, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0, 4.5, 5.0),
+    ),
+    MetricSpec(
+        "fleet.member_rate_mbps", "histogram", "fleet", "Mbps",
+        "repro.telephony.fleet.CellSession.run",
+        "Distribution of per-caller mean received throughput.",
+        buckets=(0.25, 0.5, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 8.0),
+    ),
 )
 
 #: Name → spec for every metric the stack can record.

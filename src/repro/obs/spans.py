@@ -72,6 +72,12 @@ _SPECS = (
         "repro.telephony.receiver.PanoramicReceiver._display",
         "Render + measure one displayed frame (PSNR, mismatch, delay).",
     ),
+    SpanSpec(
+        "fleet.cell_run",
+        "fleet",
+        "repro.telephony.fleet.CellSession.run",
+        "One whole shared-cell run: every member session, one clock.",
+    ),
 )
 
 #: Name → spec for every span the stack can time.

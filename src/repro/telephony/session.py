@@ -70,11 +70,17 @@ class TelephonySession:
         head_trace=None,
         trace=False,
         meter=False,
+        sim: Optional[Simulation] = None,
+        cell=None,
     ):
         if profile is not None:
             config = dataclasses.replace(config, viewer=profile.apply(config.viewer))
         self.config = config
-        self.sim = Simulation()
+        # ``sim`` lets a fleet cell (repro.telephony.fleet.CellSession)
+        # co-locate several callers on one event queue; a session that
+        # owns its simulation also owns the sim-level trace/meter hooks.
+        self._owns_sim = sim is None
+        self.sim = Simulation() if sim is None else sim
         self.rng = RngRegistry(config.seed)
         self.log = SessionLog()
         # ``trace`` is False (off), True (fresh bus), or a TraceBus the
@@ -88,7 +94,6 @@ class TelephonySession:
         if trace:
             trace.bind_clock(lambda: self.sim._now)
         self.trace = trace
-        self.sim.trace = trace
         # ``meter`` is False (off), True (fresh SessionMeter), or a
         # SessionMeter the caller built (e.g. shared across sessions).
         # Like trace emissions, metric/span emissions only read component
@@ -96,7 +101,9 @@ class TelephonySession:
         # anything back into the simulation.
         meter = coerce_meter(meter)
         self.meter = meter
-        self.sim.meter = meter
+        if self._owns_sim:
+            self.sim.trace = trace
+            self.sim.meter = meter
 
         video = config.video
         self.grid = TileGrid(video.width, video.height, video.tiles_x, video.tiles_y)
@@ -107,6 +114,13 @@ class TelephonySession:
             trace=trace, meter=meter,
         )
         self.reverse = ReversePath(self.sim, config.path, self.rng.stream("reverse"))
+        if cell is not None:
+            if self.forward.ue is None:
+                raise ValueError(
+                    "shared-cell membership needs LTE access "
+                    "(config.path.access == 'lte')"
+                )
+            self.forward.ue.join_cell(cell)
 
         self.transport = self._build_transport()
         scheme = make_scheme(
@@ -217,6 +231,20 @@ class TelephonySession:
         duration = duration if duration is not None else self.config.duration
         meter = self.meter
         t0 = meter.span_start() if meter else 0.0
+        self._emit_start()
+        if warmup > 0.0:
+            self.sim.run(warmup)
+            self._end_warmup()
+        self.sim.run(duration)
+        return self._finish(duration, t0)
+
+    # The run() phases are factored out so a fleet cell
+    # (repro.telephony.fleet.CellSession) can interleave them across all
+    # member sessions sharing one simulation: emit every start, advance
+    # the shared clock through warm-up, reset every log, advance through
+    # the measured window, then finish each member.
+
+    def _emit_start(self) -> None:
         if self.trace:
             self.trace.emit(
                 "session.start",
@@ -224,15 +252,19 @@ class TelephonySession:
                 transport=self.config.transport,
                 seed=self.config.seed,
             )
-        if warmup > 0.0:
-            self.sim.run(warmup)
-            self.log.reset()
-            self.log.start_time = self.sim.now
-            self._baseline_dropped = self.sender.pacer.dropped_frames
-            self._baseline_lost = self.forward.lost_packets
-            if self.trace:
-                self.trace.emit("session.warmup_done")
-        self.sim.run(duration)
+
+    def _end_warmup(self) -> None:
+        """Discard warm-up measurements; measurement starts now."""
+        self.log.reset()
+        self.log.start_time = self.sim.now
+        self._baseline_dropped = self.sender.pacer.dropped_frames
+        self._baseline_lost = self.forward.lost_packets
+        if self.trace:
+            self.trace.emit("session.warmup_done")
+
+    def _finish(self, duration: float, t0: float = 0.0) -> SessionResult:
+        """Close out the run: counters, summary, meter, result."""
+        meter = self.meter
         self._finalise_counters()
         summary = SessionSummary.from_log(
             self.log,

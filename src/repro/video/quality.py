@@ -277,3 +277,30 @@ def mos_band(psnr_db: float) -> str:
         if psnr_db > lower:
             return name
     return "bad"
+
+
+#: Numeric score of each Table 1 band on the standard 1-5 MOS scale.
+MOS_SCORES = {name: float(score) for score, name in enumerate(MOS_ORDER, start=1)}
+
+
+def mos_score(pdf) -> float:
+    """Expected MOS (1-5) of a band PDF like ``QualityStats.mos_pdf``.
+
+    Bands are scored ``bad=1 … excellent=5``; missing bands count as
+    probability zero, so a partial PDF still scores.
+
+    >>> mos_score({"good": 0.5, "excellent": 0.5})
+    4.5
+    >>> mos_score({"bad": 1.0})
+    1.0
+    >>> mos_score({})
+    nan
+    """
+    total = 0.0
+    weight = 0.0
+    for name, fraction in pdf.items():
+        total += MOS_SCORES[name] * fraction
+        weight += fraction
+    if weight <= 0.0:
+        return float("nan")
+    return total / weight

@@ -8,6 +8,7 @@ import repro.compression.matrix
 import repro.compression.modes
 import repro.compression.pyramid_geo
 import repro.experiments.sweeps
+import repro.lte.competitors
 import repro.metrics.freeze
 import repro.metrics.stability
 import repro.metrics.stats
@@ -24,6 +25,7 @@ MODULES = [
     repro.compression.matrix,
     repro.compression.modes,
     repro.compression.pyramid_geo,
+    repro.lte.competitors,
     repro.obs.bus,
     repro.telephony.timestamping,
     repro.metrics.freeze,

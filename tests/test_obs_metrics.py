@@ -237,7 +237,9 @@ def test_metered_session_counts_match_log(metered_result):
 
 def test_metered_session_records_every_span(metered_result):
     recorded = set(metered_result.meter.spans.stats)
-    assert recorded == set(SPAN_NAMES)
+    # fleet.cell_run only fires in shared-cell runs (tests/test_fleet.py).
+    solo_spans = {name for name in SPAN_NAMES if not name.startswith("fleet.")}
+    assert recorded == solo_spans
     assert metered_result.meter.spans.stats["session.run"].count == 1
 
 
