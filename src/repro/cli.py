@@ -241,6 +241,13 @@ def cmd_fleet(args) -> int:
     if not calls or any(v < 1 for v in calls):
         print("error: --calls values must be >= 1", file=sys.stderr)
         return 2
+    if args.batch and args.rotate_profiles:
+        print(
+            "error: --rotate-profiles requires the event engine "
+            "(drop it or drop --batch)",
+            file=sys.stderr,
+        )
+        return 2
     meter = bool(args.metrics_output) or args.meter
 
     def _progress(done: int, total: int, _result) -> None:
@@ -261,6 +268,7 @@ def cmd_fleet(args) -> int:
         rotate_profiles=args.rotate_profiles,
         jobs=args.jobs,
         meter=meter,
+        batch=args.batch,
         progress=_progress if args.progress else None,
     )
     rows = [point.to_dict() for point in sweep.points]
@@ -409,6 +417,7 @@ def cmd_perf(args) -> int:
         jobs=args.jobs,
         output=args.output,
         batch=args.batch,
+        fleet_batch=args.fleet_batch,
     )
     print(json.dumps(record, indent=1))
     return 0
@@ -549,7 +558,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--rotate-profiles",
         action="store_true",
         help="rotate the named user profiles across a cell's members "
-        "(default: identical callers)",
+        "(default: identical callers; incompatible with --batch)",
+    )
+    fleet_parser.add_argument(
+        "--batch",
+        action="store_true",
+        help="run the sweep on the batched cell engine (whole cell "
+        "blocks per lockstep tick; scenario coerced to the 1 ms grid "
+        "at 25 fps — see docs/FLEET.md)",
     )
     fleet_parser.add_argument(
         "--jobs",
@@ -634,6 +650,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="also bench the batched lockstep engine (cohort throughput "
         "vs the serial engine)",
+    )
+    perf_parser.add_argument(
+        "--fleet-batch",
+        action="store_true",
+        help="also bench the batched shared-cell engine (C cells x N "
+        "members per tick vs the scalar cell reference)",
     )
     perf_parser.add_argument("--output", metavar="FILE.json", default="BENCH_perf.json")
     perf_parser.set_defaults(func=cmd_perf)

@@ -61,9 +61,27 @@ def plan_cohorts(
     return cohorts
 
 
+#: Cohort size below which the scalar lockstep engine beats the batched
+#: one.  BENCH_perf.json measures batched speedups of 0.13× at cohort 1
+#: and 0.62× at cohort 8 (the per-tick array dispatch overhead dominates
+#: until enough sessions amortise it), crossing 1× between 8 and 64;
+#: log-interpolating the measured points puts break-even near 12.
+DEFAULT_SCALAR_CROSSOVER = 12
+
+
 def _run_cohort(payload) -> List[SessionResult]:
-    """Worker entry point: run one cohort (pickles across processes)."""
-    configs, warmup = payload
+    """Worker entry point: run one cohort (pickles across processes).
+
+    ``payload`` is ``(mode, configs, warmup)`` — ``"batched"`` advances
+    the cohort through :func:`repro.sim.batch.run_batched`, ``"scalar"``
+    runs each session through the scalar lockstep reference (the
+    small-cohort fast path; bit-identical results either way).
+    """
+    mode, configs, warmup = payload
+    if mode == "scalar":
+        from repro.telephony.uplink import run_uplink_session
+
+        return [run_uplink_session(config, warmup=warmup) for config in configs]
     from repro.sim.batch import run_batched
 
     return run_batched(configs, warmup=warmup)
@@ -88,6 +106,13 @@ class BatchRunner:
         lockstep grid; ``"serial"`` routes them one-by-one through the
         full event-driven engine instead (different session model —
         results for those positions are *not* lockstep-comparable).
+    scalar_crossover:
+        Cohorts smaller than this run each session through the *scalar*
+        lockstep engine instead of the batched one — below the measured
+        break-even (~12 sessions, see :data:`DEFAULT_SCALAR_CROSSOVER`)
+        the array dispatch overhead makes batching a slowdown.  The two
+        engines are bit-identical, so this changes wall clock only.
+        Pass ``0`` to always batch.
     """
 
     def __init__(
@@ -95,12 +120,14 @@ class BatchRunner:
         max_cohort: int = 64,
         jobs: Optional[int] = None,
         on_unsupported: str = "raise",
+        scalar_crossover: int = DEFAULT_SCALAR_CROSSOVER,
     ):
         if on_unsupported not in ("raise", "serial"):
             raise ValueError("on_unsupported must be 'raise' or 'serial'")
         self.max_cohort = max_cohort
         self.jobs = jobs
         self.on_unsupported = on_unsupported
+        self.scalar_crossover = scalar_crossover
 
     def run(
         self, configs: Sequence[SessionConfig], warmup: float = 0.0
@@ -126,7 +153,12 @@ class BatchRunner:
         # caller's positions.
         cohorts = [[supported[i] for i in cohort] for cohort in cohorts]
         payloads = [
-            ([configs[i] for i in cohort], warmup) for cohort in cohorts
+            (
+                "scalar" if len(cohort) < self.scalar_crossover else "batched",
+                [configs[i] for i in cohort],
+                warmup,
+            )
+            for cohort in cohorts
         ]
         results: List[Optional[SessionResult]] = [None] * len(configs)
         workers = resolve_jobs(self.jobs)
@@ -159,6 +191,9 @@ def run_batched_sessions(
     warmup: float = 0.0,
     max_cohort: int = 64,
     jobs: Optional[int] = None,
+    scalar_crossover: int = DEFAULT_SCALAR_CROSSOVER,
 ) -> List[SessionResult]:
     """One-call convenience wrapper around :class:`BatchRunner`."""
-    return BatchRunner(max_cohort=max_cohort, jobs=jobs).run(configs, warmup)
+    return BatchRunner(
+        max_cohort=max_cohort, jobs=jobs, scalar_crossover=scalar_crossover
+    ).run(configs, warmup)

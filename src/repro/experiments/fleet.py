@@ -23,6 +23,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.experiments.parallel import (
+    CellBlockTask,
     CellTask,
     ProgressCallback,
     merged_meter,
@@ -127,6 +128,119 @@ def fleet_tasks(
     return tasks
 
 
+def lockstep_scenario(
+    scenario_name: str,
+    scheme: str = "poi360",
+    transport: str = "fbcc",
+    duration: float = 30.0,
+    seed: int = 0,
+):
+    """A scenario config coerced onto the lockstep grid.
+
+    The batched cell engine requires every cadence on the 1 ms subframe
+    grid (:func:`repro.telephony.uplink.batch_unsupported_reason`); the
+    default 30 fps frame interval (1/30 s) is not, so batched sweeps run
+    the scenario at 25 fps.  This makes ``--batch`` numbers comparable
+    *to each other* and to the scalar lockstep reference — not bitwise
+    to the event-driven 30 fps sweep (docs/FLEET.md, "Batched cells").
+    """
+    import dataclasses
+
+    from repro.telephony.uplink import _ms_aligned
+    from repro.traces.scenarios import scenario
+
+    config = scenario(
+        scenario_name,
+        scheme=scheme,
+        transport=transport,
+        duration=duration,
+        seed=seed,
+    )
+    if not _ms_aligned(1.0 / config.video.fps):
+        config = dataclasses.replace(
+            config, video=dataclasses.replace(config.video, fps=25.0)
+        )
+    return config
+
+
+def fleet_batch_tasks(
+    scenario_name: str,
+    calls: Sequence[int],
+    cells: int = 1,
+    scheme: str = "poi360",
+    transport: str = "fbcc",
+    duration: float = 30.0,
+    warmup: float = 5.0,
+    seed: int = 0,
+    background_ues: int = 0,
+    background_load: float = 0.0,
+    prb_budget: int = 50,
+    jobs: Optional[int] = None,
+) -> List[CellBlockTask]:
+    """The ``--batch`` task list: whole batched cell blocks.
+
+    Each point's cells keep the exact seed schedule of
+    :func:`fleet_tasks` and are chunked into at most ``jobs`` contiguous
+    blocks; the partition affects wall clock only (cells are independent
+    — the flattened results are byte-equal for any block split).
+    """
+    workers = resolve_jobs(jobs)
+    tasks: List[CellBlockTask] = []
+    for point_index, ues in enumerate(calls):
+        if ues < 1:
+            raise ValueError("calls-per-cell values must be >= 1")
+        seeds = [
+            seed + CELL_SEED_STRIDE * (point_index * cells + cell_index)
+            for cell_index in range(cells)
+        ]
+        blocks = min(len(seeds), max(1, workers))
+        # Balanced contiguous chunks, larger chunks first.
+        size, extra = divmod(len(seeds), blocks)
+        start = 0
+        for block in range(blocks):
+            stop = start + size + (1 if block < extra else 0)
+            tasks.append(
+                CellBlockTask(
+                    scenario_name=scenario_name,
+                    scheme=scheme,
+                    transport=transport,
+                    duration=duration,
+                    warmup=warmup,
+                    seeds=tuple(seeds[start:stop]),
+                    ues=ues,
+                    background_ues=background_ues,
+                    background_load=background_load,
+                    prb_budget=prb_budget,
+                )
+            )
+            start = stop
+    return tasks
+
+
+def _cell_meter(cell: CellResult) -> SessionMeter:
+    """Post-hoc ``fleet.*`` registry for one batched cell.
+
+    The lockstep engines never thread a meter through the hot loop
+    (metering hooks would cost every session every tick), so the
+    ``--batch`` path derives the cell-level fleet metrics from the
+    finished :class:`CellResult` — the same observations
+    :meth:`repro.telephony.fleet.CellSession.run` records live, minus
+    the per-member ``session.*``/``sim.*`` families that only the event
+    engine meters.
+    """
+    meter = SessionMeter()
+    meter.inc("fleet.cells")
+    meter.observe("fleet.cell_members", float(len(cell.results)))
+    meter.observe("fleet.cell_jain", cell.jain)
+    for result, mos in zip(cell.results, cell.member_mos):
+        if not math.isnan(mos):
+            meter.observe("fleet.member_mos", mos)
+        rate = result.summary.throughput.mean / 1e6
+        if not math.isnan(rate):
+            meter.observe("fleet.member_rate_mbps", rate)
+    return meter
+
+
 def _aggregate(ues: int, results: Sequence[CellResult]) -> FleetPoint:
     summaries = [r.summary for cell in results for r in cell.results]
     jains = [cell.jain for cell in results]
@@ -151,6 +265,7 @@ def fleet_sweep(
     jobs: Optional[int] = None,
     progress: Optional[ProgressCallback] = None,
     meter: bool = False,
+    batch: bool = False,
     **kwargs,
 ) -> FleetSweepResult:
     """Run the capacity sweep; cells shard across the process pool.
@@ -159,12 +274,36 @@ def fleet_sweep(
     duration, warmup, seed, background_ues, background_load, prb_budget,
     rotate_profiles).  Results are grouped back per calls-per-cell value
     in task order, so the output is independent of ``jobs``.
+
+    ``batch=True`` runs the same seed schedule on the batched cell
+    engine (:mod:`repro.sim.batch_cell`): whole cell blocks shard across
+    the pool instead of single cells, the scenario is coerced onto the
+    lockstep grid (:func:`lockstep_scenario`), the ``fleet.*`` registry
+    is derived post-hoc (:func:`_cell_meter`), and user-profile rotation
+    is unsupported (profiles are an event-engine feature).  Serial and
+    sharded batch sweeps remain byte-equal; batch and event sweeps are
+    statistically comparable, not bitwise (different engines).
     """
     calls = list(calls)
-    tasks = fleet_tasks(
-        scenario_name, calls, cells=cells, meter=meter, **kwargs
-    )
-    results = run_tasks(tasks, jobs=jobs, progress=progress)
+    if batch:
+        if kwargs.pop("rotate_profiles", False):
+            raise ValueError(
+                "--rotate-profiles requires the event engine (user "
+                "profiles are not part of the lockstep uplink profile)"
+            )
+        tasks = fleet_batch_tasks(
+            scenario_name, calls, cells=cells, jobs=jobs, **kwargs
+        )
+        blocks = run_tasks(tasks, jobs=jobs, progress=progress)
+        results = [cell for block in blocks for cell in block]
+        if meter:
+            for cell in results:
+                cell.meter = _cell_meter(cell)
+    else:
+        tasks = fleet_tasks(
+            scenario_name, calls, cells=cells, meter=meter, **kwargs
+        )
+        results = run_tasks(tasks, jobs=jobs, progress=progress)
     grouped: List[List[CellResult]] = [
         results[point_index * cells : (point_index + 1) * cells]
         for point_index in range(len(calls))

@@ -167,6 +167,65 @@ class CellTask:
         return cell.run(self.duration, warmup=self.warmup)
 
 
+@dataclass(frozen=True)
+class CellBlockTask:
+    """Everything a worker process needs to run one *batched cell block*.
+
+    The ``--batch`` sharding unit: one task is one
+    :class:`repro.sim.batch_cell.BatchedCellSimulation` advancing a
+    contiguous run of a sweep's cells (same calls-per-cell, consecutive
+    seeds) in lockstep.  Cells never couple with each other, so how a
+    point's cells are partitioned into blocks changes wall clock only —
+    the flattened per-cell results (and hence the merged registries) are
+    byte-equal for any partition, including the serial one-block case.
+    ``run()`` returns a list of :class:`repro.telephony.fleet.CellResult`
+    in seed order.
+    """
+
+    scenario_name: str
+    scheme: str
+    transport: str
+    duration: float
+    warmup: float
+    #: Base seed of each cell in the block; member ``i`` of a cell runs
+    #: at ``cell_seed + 1000*i``.
+    seeds: tuple
+    ues: int
+    background_ues: int = 0
+    background_load: float = 0.0
+    prb_budget: int = 50
+
+    def run(self) -> List:
+        from repro.config import FleetConfig
+        from repro.experiments.fleet import lockstep_scenario
+        from repro.sim.batch_cell import run_batched_cells
+        from repro.telephony.fleet import member_configs
+
+        cells = []
+        fleets = []
+        for seed in self.seeds:
+            base = lockstep_scenario(
+                self.scenario_name,
+                scheme=self.scheme,
+                transport=self.transport,
+                duration=self.duration,
+                seed=seed,
+            )
+            cells.append(member_configs(base, self.ues))
+            fleets.append(
+                FleetConfig(
+                    ues=self.ues,
+                    prb_budget=self.prb_budget,
+                    background_ues=self.background_ues,
+                    background_load=self.background_load,
+                    seed=seed,
+                )
+            )
+        return run_batched_cells(
+            cells, fleets=fleets, duration=self.duration, warmup=self.warmup
+        )
+
+
 def _run_task(task):
     return task.run()
 

@@ -227,6 +227,7 @@ def bench_batched_sessions(
     cohorts: tuple = (1, 8, 64, 1024, 2048),
     serial_sessions: int = 4,
     repeats: int = 2,
+    serial_s: Optional[float] = None,
 ) -> dict:
     """Lockstep cohort throughput vs the serial reference engine.
 
@@ -240,6 +241,12 @@ def bench_batched_sessions(
     ``speedup`` is the largest cohort's rate over the serial rate.
     Serial and batched legs are each best-of-``repeats`` so a noisy
     neighbour on a CI box skews the ratio as little as possible.
+
+    The serial reference is timed **once** and its rate reused as the
+    denominator for every cohort size (it does not depend on the cohort
+    under test); callers that already hold a measurement — a second
+    bench invocation in the same process, a CI smoke re-run — can pass
+    it in as ``serial_s`` and skip the serial leg entirely.
     """
     import gc
 
@@ -253,7 +260,8 @@ def bench_batched_sessions(
     gc_was_enabled = gc.isenabled()
     gc.disable()
     try:
-        serial_s = _best_of(repeats, serial_leg)
+        if serial_s is None:
+            serial_s = _best_of(repeats, serial_leg)
         serial_rate = serial_sessions * duration / serial_s
         cohort_entries = {}
         for n in cohorts:
@@ -270,6 +278,8 @@ def bench_batched_sessions(
         if gc_was_enabled:
             gc.enable()
     headline = cohort_entries[str(max(cohorts))]
+    from repro.experiments.batch import DEFAULT_SCALAR_CROSSOVER
+
     return {
         "profile": "cellular uplink lockstep grid (25 fps)",
         "session_duration_s": duration,
@@ -277,6 +287,81 @@ def bench_batched_sessions(
         "serial_engine_s_per_session": round(serial_s / serial_sessions, 4),
         "serial_sessions_per_sec": round(serial_rate, 1),
         "cohorts": cohort_entries,
+        "batched_sessions_per_sec": headline["sessions_per_sec"],
+        "batched_speedup": headline["speedup"],
+        "scalar_crossover": DEFAULT_SCALAR_CROSSOVER,
+    }
+
+
+def bench_batched_cells(
+    duration: float = 5.0,
+    members: int = 4,
+    cell_counts: tuple = (1, 8, 32, 128),
+    serial_cells: int = 2,
+    repeats: int = 2,
+) -> dict:
+    """Batched shared-cell throughput vs the scalar cell reference.
+
+    The fleet counterpart of :func:`bench_batched_sessions`: the serial
+    leg drives ``serial_cells`` scalar :class:`repro.telephony.uplink.
+    UplinkCellSession` cells (N coupled members each, one Python tick
+    loop per cell) and is timed **once**; the batched legs advance
+    C-cell blocks through :class:`repro.sim.batch_cell.
+    BatchedCellSimulation` (bit-identical results, see
+    tests/test_batch_cell.py).  The tracked signal is aggregate
+    *cell-member sessions per second* and the headline ``speedup`` is
+    the largest block's rate over the serial rate — at the default
+    sizes that is C×N = 512 coupled sessions per lockstep tick.
+    """
+    import gc
+
+    from repro.config import FleetConfig
+    from repro.sim.batch_cell import run_batched_cells
+    from repro.telephony.fleet import member_configs
+    from repro.telephony.uplink import UplinkCellSession
+
+    def cell_inputs(count: int):
+        cells = []
+        fleets = []
+        for index in range(count):
+            base = _lockstep_config(1 + 1_000_000 * index, duration)
+            cells.append(member_configs(base, members))
+            fleets.append(FleetConfig(ues=members, seed=base.seed))
+        return cells, fleets
+
+    def serial_leg() -> None:
+        cells, fleets = cell_inputs(serial_cells)
+        for cell, fleet in zip(cells, fleets):
+            UplinkCellSession(cell, fleet=fleet).run()
+
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        serial_s = _best_of(repeats, serial_leg)
+        serial_rate = serial_cells * members * duration / serial_s
+        block_entries = {}
+        for count in cell_counts:
+            cells, fleets = cell_inputs(count)
+            gc.collect()
+            elapsed = _best_of(repeats, run_batched_cells, cells, fleets)
+            rate = count * members * duration / elapsed
+            block_entries[str(count)] = {
+                "run_s": round(elapsed, 4),
+                "sessions_per_sec": round(rate, 1),
+                "speedup": round(rate / serial_rate, 3),
+            }
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    headline = block_entries[str(max(cell_counts))]
+    return {
+        "profile": "cellular uplink lockstep grid (25 fps), shared cells",
+        "session_duration_s": duration,
+        "members_per_cell": members,
+        "serial_cells": serial_cells,
+        "serial_sessions_per_sec": round(serial_rate, 1),
+        "cells": block_entries,
+        "max_coupled_sessions": max(cell_counts) * members,
         "batched_sessions_per_sec": headline["sessions_per_sec"],
         "batched_speedup": headline["speedup"],
     }
@@ -288,6 +373,7 @@ def run_perf_bench(
     jobs: Optional[int] = 4,
     output: Optional[str] = "BENCH_perf.json",
     batch: bool = False,
+    fleet_batch: bool = False,
 ) -> dict:
     """Run every leg and (optionally) write the JSON record."""
     workers = resolve_jobs(jobs if jobs else 0)
@@ -306,6 +392,7 @@ def run_perf_bench(
         serial = _time_grid(settings, jobs=1)
         parallel = _time_grid(settings, jobs=workers) if run_parallel_leg else None
         batched = bench_batched_sessions() if batch else None
+        batched_cells = bench_batched_cells() if fleet_batch else None
     finally:
         result_cache.set_cache_enabled(None)
     record = {
@@ -327,6 +414,7 @@ def run_perf_bench(
         ),
         "kernels": kernels,
         "batch": batched,
+        "fleet_batch": batched_cells,
         "seed_baseline": SEED_BASELINE,
         "single_session_vs_seed": round(
             SEED_BASELINE["single_session_s"] / single, 3

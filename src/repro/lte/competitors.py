@@ -134,6 +134,45 @@ class CompetitorCell:
         return sum(1 for c in self._competitors if c.active)
 
 
+class GridCompetitorCell:
+    """Grid twin of :class:`CompetitorCell` for the lockstep engines.
+
+    Same population, same per-UE draws from the same rng stream, same
+    aggregate-load arithmetic — but the caller clocks the on/off updates
+    (every ``UPDATE_INTERVAL`` on the 1 ms grid) instead of the event
+    engine, and ``load`` is a cached plain float recomputed only when
+    the population flips.  Both the scalar :class:`repro.lte.shared_cell.
+    GridSharedCell` and the batched :class:`~repro.lte.shared_cell.
+    SharedCellArray` own one of these per cell, so the two engines
+    consume bit-identical background loads by construction.
+    """
+
+    __slots__ = ("_competitors", "_total_weight", "_rng", "load")
+
+    def __init__(self, config: CellConfig, rng: np.random.Generator):
+        count = max(1, config.competitor_count)
+        duty = min(0.95, config.background_load * CompetitorCell._capacity_share(count))
+        self._competitors: List[_CompetitorUe] = [
+            _CompetitorUe(rng, duty) for _ in range(count)
+        ]
+        self._total_weight = sum(c.weight for c in self._competitors)
+        self._rng = rng
+        self.load = self._snapshot()
+
+    def update(self, now: float) -> None:
+        """Advance every competitor's on/off state to ``now``."""
+        rng = self._rng
+        for competitor in self._competitors:
+            competitor.update(now, rng)
+        self.load = self._snapshot()
+
+    def _snapshot(self) -> float:
+        if self._total_weight <= 0.0:
+            return 0.0
+        active = sum(c.weight for c in self._competitors if c.active)
+        return min(0.9, active / self._total_weight)
+
+
 def make_cell_model(sim: Simulation, config: CellConfig, rng: np.random.Generator):
     """Factory: explicit competitors when configured, OU process otherwise."""
     if config.competitor_count > 0:

@@ -182,7 +182,7 @@ class GridScheduler:
 
     __slots__ = (
         "_p_max", "_backlog_ref", "_prb_quota", "_mean_burst",
-        "_burst", "_fading", "_burst_left", "_idle_left",
+        "_burst", "_fading", "_burst_left", "_idle_left", "_claim",
     )
 
     def __init__(self, config: LteConfig, stream, block: int = 1024):
@@ -202,6 +202,21 @@ class GridScheduler:
         self._fading = BlockStream(stream("sched.fading"), lognormal_transform(sigma), block)
         self._burst_left = 0
         self._idle_left = 0
+        #: Optional per-subframe PRB budget hook — the grid twin of
+        #: :meth:`EnbScheduler.set_cell`'s ``claim_prbs`` wiring.
+        self._claim = None
+
+    def attach_cell(self, view) -> None:
+        """Claim PRBs through a shared-cell member view.
+
+        ``view.claim_prbs`` is the grid analogue of
+        :class:`repro.lte.shared_cell.CellMemberView.claim_prbs`; when
+        attached, every grant's PRBs clip against the cell's remaining
+        per-subframe budget.  A claim of zero returns without drawing a
+        fading variate, keeping the RNG stream aligned with the batched
+        engine's filtered fading take.
+        """
+        self._claim = view.claim_prbs
 
     def grant_for_subframe(
         self, reported: float, actual: float, cqi: int, load: float
@@ -218,6 +233,10 @@ class GridScheduler:
         if not self._in_service_burst(probability):
             return 0.0
         prbs = max(2, int(round(self._prb_quota * (2.0 - load))))
+        if self._claim is not None:
+            prbs = self._claim(prbs)
+            if prbs <= 0:
+                return 0.0
         capacity = transport_block_bytes(cqi, prbs)
         fading = self._fading.next()
         return min(actual, capacity * fading)
@@ -284,6 +303,7 @@ class SchedulerArray:
         cqi: np.ndarray,
         cqi_positive: np.ndarray,
         load: np.ndarray,
+        cells=None,
     ):
         """Served-session indices and their grant bytes this subframe.
 
@@ -291,6 +311,12 @@ class SchedulerArray:
         *served* session instead of a dense ``(n,)`` vector, and keeps
         the burst/idle counter updates as whole-array boolean arithmetic
         (a bool subtracts as 0/1) rather than fancy-indexed writes.
+
+        ``cells`` (a :class:`repro.lte.shared_cell.SharedCellArray`)
+        routes every session's PRBs through the vectorised budget claim;
+        sessions whose claim came back zero are dropped *before* the
+        fading take, so each per-session fading stream advances exactly
+        when its scalar twin's would.
         """
         eligible = np.greater(reported, 0.0, out=self._scratch_e)
         eligible &= cqi_positive
@@ -332,6 +358,14 @@ class SchedulerArray:
         if not rows.size:
             return _EMPTY_ROWS, _EMPTY_GRANTS
         prbs = np.maximum(2.0, np.rint(self._prb_quota[rows] * (2.0 - load[rows])))
+        if cells is not None:
+            prbs = cells.claim_rows(rows, prbs)
+            served = prbs > 0.0
+            if not served.all():
+                rows = rows[served]
+                if not rows.size:
+                    return _EMPTY_ROWS, _EMPTY_GRANTS
+                prbs = prbs[served]
         capacity = BYTES_PER_PRB_TABLE[cqi[rows]] * prbs
         fading = self._fading.take(rows)
         grants = np.minimum(actual[rows], capacity * fading)

@@ -285,3 +285,337 @@ class SharedCell:
             self._decay_to(member, now)
             member.share += self._alpha * (granted / self._prb_budget)
         return granted
+
+
+# ----------------------------------------------------------------------
+# Lockstep twins (batched engine, repro.sim.batch_cell)
+# ----------------------------------------------------------------------
+
+#: Background-crowd update cadence on the 1 ms grid (subframes).
+_BG_TICKS = int(round(0.05 / LTE_SUBFRAME))  # competitors.UPDATE_INTERVAL
+
+
+def _background_crowd(config: FleetConfig):
+    """The cell's scheduled background population, or ``None``.
+
+    Both grid twins build the crowd identically — same
+    :class:`~repro.lte.competitors.GridCompetitorCell`, same
+    ``fleet.background`` rng stream derived from ``config.seed`` — so
+    the scalar and batched engines consume bit-identical background
+    loads by construction.
+    """
+    if config.background_ues <= 0:
+        return None
+    from repro.lte.competitors import GridCompetitorCell
+    from repro.sim.rng import RngRegistry
+
+    return GridCompetitorCell(
+        CellConfig(
+            background_load=config.background_load,
+            competitor_count=config.background_ues,
+        ),
+        RngRegistry(config.seed).stream("fleet.background"),
+    )
+
+
+class GridCellMemberView:
+    """Grid twin of :class:`CellMemberView` (duck-typed ``load`` +
+    ``claim_prbs``, clocked by the cell's ``begin_tick`` instead of the
+    event engine's ``sim._now``)."""
+
+    __slots__ = ("_cell", "index")
+
+    def __init__(self, cell: "GridSharedCell", index: int):
+        self._cell = cell
+        self.index = index
+
+    @property
+    def load(self) -> float:
+        return self._cell.load_for(self.index)
+
+    def claim_prbs(self, prbs: int) -> int:
+        return self._cell.claim(self.index, prbs)
+
+
+class GridSharedCell:
+    """Grid-scalar twin of :class:`SharedCell`: the bit-exactness
+    reference for the batched :class:`SharedCellArray`.
+
+    The event-driven :class:`SharedCell` decays shares lazily and resets
+    its budget on the first claim of a subframe; on the lockstep grid a
+    driver (:class:`repro.telephony.uplink.UplinkCellSession`) calls
+    :meth:`begin_tick` once per 1 ms tick, which updates the background
+    crowd at its cadence, decays every share eagerly by one subframe,
+    snapshots the aggregate left-to-right, and resets the PRB budget
+    (minus the background's pre-claim).  Because every member queries
+    its load every tick, the eager per-tick decay performs exactly the
+    ``ticks == 1`` case of the lazy ``decay ** ticks`` catch-up.
+    """
+
+    __slots__ = (
+        "config", "background", "_prb_budget", "_alpha", "_decay",
+        "_kappa", "_weight_max", "_fallbacks", "_shares", "_total",
+        "_budget_left", "_now",
+    )
+
+    def __init__(self, config: Optional[FleetConfig] = None):
+        config = config if config is not None else FleetConfig()
+        self.config = config
+        self._prb_budget = max(1, int(config.prb_budget))
+        tau = max(LTE_SUBFRAME, config.share_time_constant)
+        self._alpha = 1.0 - math.exp(-LTE_SUBFRAME / tau)
+        self._decay = 1.0 - self._alpha
+        self._kappa = max(0.0, config.pf_weight_exponent)
+        self._weight_max = max(1.0, config.pf_weight_max)
+        #: Per-member fallback load models (``GridCellLoad``) + shares.
+        self._fallbacks: list = []
+        self._shares: List[float] = []
+        self._total = 0.0
+        self._budget_left = self._prb_budget
+        self._now = 0.0
+        self.background = _background_crowd(config)
+
+    def add_member(self, fallback) -> GridCellMemberView:
+        """Register a member; ``fallback`` is its own cell-load model."""
+        index = len(self._shares)
+        self._fallbacks.append(fallback)
+        self._shares.append(0.0)
+        return GridCellMemberView(self, index)
+
+    @property
+    def members(self) -> int:
+        return len(self._shares)
+
+    @property
+    def budget_left(self) -> int:
+        """PRBs still grantable this subframe (introspection)."""
+        return self._budget_left
+
+    def begin_tick(self, k: int, now: float) -> None:
+        """Advance the cell to tick ``k``: background, decay, budget."""
+        self._now = now
+        background = self.background
+        if background is not None and k % _BG_TICKS == 0:
+            background.update(now)
+        decay = self._decay
+        shares = self._shares
+        total = 0.0
+        for index in range(len(shares)):
+            share = shares[index] * decay
+            shares[index] = share
+            total += share
+        self._total = total
+        budget = self._prb_budget
+        if background is not None:
+            budget -= int(round(self._prb_budget * background.load))
+            if budget < 0:
+                budget = 0
+        self._budget_left = budget
+
+    def pf_weight(self, index: int) -> float:
+        """PF catch-up weight — :meth:`SharedCell.pf_weight` arithmetic,
+        with the power routed through the numpy float64 ufunc so the
+        scalar value equals :class:`SharedCellArray`'s elementwise
+        ``np.power`` bit-for-bit (the repo's numpy-ufunc-routed-scalars
+        idiom, see ``ReceiverState.finalise``)."""
+        count = len(self._shares)
+        if count <= 1:
+            return 1.0
+        mine = self._shares[index]
+        ratio = (self._total / count + _SHARE_EPS) / (mine + _SHARE_EPS)
+        weight = float(np.power(np.float64(ratio), self._kappa))
+        if weight > self._weight_max:
+            return self._weight_max
+        floor = 1.0 / self._weight_max
+        if weight < floor:
+            return floor
+        return weight
+
+    def load_for(self, index: int) -> float:
+        """Effective load for member ``index`` this tick — the same
+        composition as :meth:`SharedCell.load_for`, reading the
+        per-tick aggregate snapshot."""
+        share = self._shares[index]
+        peers = self._total - share
+        if peers < 0.0:
+            peers = 0.0
+        background = self.background
+        if background is not None:
+            base = background.load
+        else:
+            base = self._fallbacks[index].load
+        raw = base + peers
+        if raw > LOAD_MAX:
+            raw = LOAD_MAX
+        weight = self.pf_weight(index)
+        if weight != 1.0:
+            boosted = 1.0 - weight * (1.0 - raw)
+            if boosted < 0.0:
+                return 0.0
+            if boosted > LOAD_MAX:
+                return LOAD_MAX
+            return boosted
+        return raw
+
+    def claim(self, index: int, prbs: int) -> int:
+        """Grant up to ``prbs`` from this tick's remaining budget."""
+        granted = prbs if prbs <= self._budget_left else self._budget_left
+        if granted > 0:
+            self._budget_left -= granted
+            self._shares[index] += self._alpha * (granted / self._prb_budget)
+        return granted
+
+
+class SharedCellArray:
+    """``(C cells, N members)`` vectorised twin of :class:`GridSharedCell`.
+
+    One :meth:`member_loads` call per 1 ms tick advances **every** cell:
+    background crowds update at their cadence (scalar per-cell Python —
+    the crowd flips at 20 Hz, off the hot path), share EWMAs decay as
+    one ``(C, N)`` multiply, the per-cell aggregates accumulate
+    column-by-column (left-to-right, matching the scalar member loop's
+    float association), and the load composition — peers, background,
+    clamp, PF catch-up weight ``((mean+eps)/(share+eps)) ** kappa``
+    row-wise — runs as whole-array ops.  :meth:`claim_rows` replaces the
+    members' sequential budget claims with an order-preserving segmented
+    prefix-sum pass (see the method docstring for the equivalence
+    argument).  Flattened member order is cell-major — identical to the
+    flat cohort order of :class:`repro.sim.batch_cell.
+    BatchedCellSimulation`.
+    """
+
+    def __init__(self, fleets, members: int, fallback):
+        fleets = list(fleets)
+        if not fleets:
+            raise ValueError("at least one cell required")
+        if members < 1:
+            raise ValueError("cells need at least one member")
+        c = len(fleets)
+        self._c = c
+        self._n = members
+        self.fleets = fleets
+        #: The flat cohort's own per-session cell-load models
+        #: (``CellLoadArray``) — each member's background fallback.
+        self._fallback = fallback
+        self._shares = np.zeros((c, members))
+        prb = np.array([max(1, int(f.prb_budget)) for f in fleets], dtype=np.float64)
+        self._prb_budget = prb
+        alpha = np.array(
+            [
+                1.0 - math.exp(-LTE_SUBFRAME / max(LTE_SUBFRAME, f.share_time_constant))
+                for f in fleets
+            ]
+        )
+        self._alpha = alpha
+        self._decay_col = (1.0 - alpha)[:, None]
+        self._kappa_col = np.array([max(0.0, f.pf_weight_exponent) for f in fleets])[
+            :, None
+        ]
+        wmax = np.array([max(1.0, f.pf_weight_max) for f in fleets])
+        self._wmax_col = wmax[:, None]
+        self._wfloor_col = (1.0 / wmax)[:, None]
+        self._backgrounds = [_background_crowd(f) for f in fleets]
+        self._has_bg = any(bg is not None for bg in self._backgrounds)
+        self._bg_mask = np.array([bg is not None for bg in self._backgrounds])
+        self._bg_load = np.array(
+            [0.0 if bg is None else bg.load for bg in self._backgrounds]
+        )
+        self._budget_left = prb.copy()
+        self._total = np.zeros(c)
+
+    @property
+    def cells(self) -> int:
+        return self._c
+
+    @property
+    def budget_left(self) -> np.ndarray:
+        """Per-cell PRBs still grantable this subframe (introspection)."""
+        return self._budget_left
+
+    def member_loads(self, k: int, now: float) -> np.ndarray:
+        """Advance every cell to tick ``k``; flat ``(C*N,)`` loads.
+
+        Performs, for all cells at once, exactly what
+        :meth:`GridSharedCell.begin_tick` + N ``load_for`` calls do —
+        the scalar reference computes every member's load from the same
+        per-tick share snapshot (claims bump only the claimer's *own*
+        share, which no later member's load reads), so the phase-major
+        evaluation here is order-equivalent to the scalar member-major
+        one.
+        """
+        if self._has_bg and k % _BG_TICKS == 0:
+            bg_load = self._bg_load
+            for index, bg in enumerate(self._backgrounds):
+                if bg is not None:
+                    bg.update(now)
+                    bg_load[index] = bg.load
+        shares = self._shares
+        shares *= self._decay_col
+        total = self._total
+        total.fill(0.0)
+        for j in range(self._n):
+            total += shares[:, j]
+        # Budget reset minus the background pre-claim; ``np.rint`` is
+        # the scalar ``int(round(...))`` (both round half-even).
+        np.maximum(
+            0.0,
+            self._prb_budget - np.rint(self._prb_budget * self._bg_load),
+            out=self._budget_left,
+        )
+        # Background component: each member's own fallback model, or
+        # the cell's crowd where one is scheduled.
+        base = self._fallback.load.reshape(self._c, self._n)
+        if self._has_bg:
+            base = base.copy()
+            base[self._bg_mask, :] = self._bg_load[self._bg_mask, None]
+        peers = total[:, None] - shares
+        np.maximum(peers, 0.0, out=peers)
+        raw = base + peers
+        np.minimum(raw, LOAD_MAX, out=raw)
+        if self._n <= 1:
+            return raw.reshape(-1)
+        ratio = (total[:, None] / self._n + _SHARE_EPS) / (shares + _SHARE_EPS)
+        weight = np.power(ratio, self._kappa_col)
+        np.minimum(weight, self._wmax_col, out=weight)
+        np.maximum(weight, self._wfloor_col, out=weight)
+        boosted = 1.0 - weight * (1.0 - raw)
+        np.minimum(boosted, LOAD_MAX, out=boosted)
+        np.maximum(boosted, 0.0, out=boosted)
+        loads = np.where(weight == 1.0, raw, boosted)
+        return loads.reshape(-1)
+
+    def claim_rows(self, rows: np.ndarray, prbs: np.ndarray) -> np.ndarray:
+        """Vectorised, order-preserving budget claims for served rows.
+
+        ``rows`` are flat session indices in ascending order (cell-major,
+        as ``np.nonzero`` yields them), ``prbs`` the demands.  The
+        sequential semantics — each member grabs
+        ``min(demand, remaining)`` in attach order — equal
+        ``min(demand_i, max(0, budget - sum(demand_j, j<i in cell)))``:
+        while the budget lasts, grants == demands so the prefix sums
+        agree; at the first shortfall the formula hands out exactly the
+        remainder, and every later claim sees a non-positive remainder
+        and gets zero.  Demands and budgets are small exact integers in
+        float64, so the prefix sums are exact.
+        """
+        cells = rows // self._n
+        csum = np.cumsum(prbs)
+        before = csum - prbs
+        first = np.empty(rows.size, dtype=bool)
+        first[0] = True
+        np.not_equal(cells[1:], cells[:-1], out=first[1:])
+        segment = np.cumsum(first) - 1
+        before -= before[np.nonzero(first)[0]][segment]
+        grants = self._budget_left[cells] - before
+        np.minimum(grants, prbs, out=grants)
+        np.maximum(grants, 0.0, out=grants)
+        self._budget_left -= np.bincount(cells, weights=grants, minlength=self._c)
+        positive = grants > 0.0
+        if positive.any():
+            prows = rows[positive]
+            pcells = cells[positive]
+            flat = self._shares.reshape(-1)
+            flat[prows] += self._alpha[pcells] * (
+                grants[positive] / self._prb_budget[pcells]
+            )
+        return grants

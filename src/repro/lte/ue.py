@@ -190,7 +190,7 @@ class UeUplinkArray:
         self.bytes_sent = np.zeros(n)
         self._zero_tbs = np.zeros(n)
 
-    def subframe(self, now: float):
+    def subframe(self, now: float, loads=None, cells=None):
         """One 1 ms subframe for every session.
 
         Returns ``(tbs, rounds)`` where ``rounds`` is the (possibly
@@ -198,6 +198,13 @@ class UeUplinkArray:
         rounds and ``tbs`` the per-session bytes granted this subframe
         (a shared zeros array when nobody was served — read-only).
         Post-drain levels are ``self.buffer.level``.
+
+        ``loads``/``cells`` are the shared-cell hooks
+        (:class:`repro.sim.batch_cell.BatchedCellSimulation`): ``loads``
+        replaces each session's own cell-load model with its cell-member
+        effective load, and ``cells`` (a
+        :class:`~repro.lte.shared_cell.SharedCellArray`) routes every
+        PRB grant through the per-cell budget claim pass.
         """
         ring = self._bsr_ring
         pos = self._bsr_pos
@@ -206,8 +213,9 @@ class UeUplinkArray:
         np.copyto(level_before, self.buffer.level)
         self._bsr_pos = pos + 1 if pos + 1 < self._bsr_depth else 0
         cqi_positive, cqi = self.channel.cqi_state(now)
+        load = self.cell.load if loads is None else loads
         rows, grants = self.scheduler.serve_subframe(
-            reported, self.buffer.level, cqi, cqi_positive, self.cell.load
+            reported, self.buffer.level, cqi, cqi_positive, load, cells=cells
         )
         if rows.size:
             rounds = self.buffer.drain_rows(rows, grants)

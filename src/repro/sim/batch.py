@@ -164,6 +164,7 @@ class BatchedSimulation:
         self._last_flush_k = 0
         self._baseline_fw_drops = np.zeros(n, dtype=np.int64)
         self._baseline_pacer_drops = np.zeros(n, dtype=np.int64)
+        self._baseline_bytes = np.zeros(n)
         #: Per-session earliest pending display instant, plus its scalar
         #: min — the gate that keeps the flush phase off the hot path.
         self._next_display = np.full(n, float("inf"))
@@ -295,7 +296,7 @@ class BatchedSimulation:
         if k % profile.pacer_ticks == 0:
             self._pace()
         # 8. LTE subframe
-        tbs, rounds = self._ue.subframe(now)
+        tbs, rounds = self._subframe(k, now)
         if rounds:
             self._in_flight.setdefault(k + profile.deliver_ticks, []).extend(rounds)
         self._bandwidth.on_record(tbs)
@@ -331,6 +332,14 @@ class BatchedSimulation:
                 log.start_time = now
             self._baseline_fw_drops = self._ue.buffer.dropped_packets.copy()
             self._baseline_pacer_drops = self._pacer.dropped_frames.copy()
+            self._baseline_bytes = self._ue.bytes_sent.copy()
+
+    def _subframe(self, k: int, now: float):
+        """Phase-8 grant pass; the cell-coupled engine
+        (:class:`repro.sim.batch_cell.BatchedCellSimulation`) overrides
+        this to advance the shared cells and route grants through their
+        budgets."""
+        return self._ue.subframe(now)
 
     def _materialise_arrivals(self) -> None:
         """Turn the staged (now, rows, sizes) drain rounds into each

@@ -1,0 +1,170 @@
+"""Batched shared-cell engine: C cells × N members per lockstep tick.
+
+:class:`BatchedCellSimulation` extends the independent-cohort
+:class:`repro.sim.batch.BatchedSimulation` with the cell coupling of
+docs/FLEET.md: the flat cohort is the cell-major concatenation of C
+cells' member lists, and one :class:`repro.lte.shared_cell.
+SharedCellArray` holds every cell's realized-share EWMAs as a ``(C, N)``
+array, computes all members' PF-coupled effective loads row-wise, and
+clips every PRB grant against the per-cell per-subframe budgets in a
+single order-preserving claim pass.
+
+Bit-exactness contract (``tests/test_batch_cell.py``):
+
+- a **C=1** batched cell reproduces the scalar reference
+  :class:`repro.telephony.uplink.UplinkCellSession` to the bit — logs,
+  summaries, member bytes, Jain index;
+- an **N=1** batched cell degenerates to the independent-cohort path —
+  the shared-cell arithmetic is an exact no-op (peer share 0.0 adds
+  bitwise-neutrally, the PF weight branch is skipped, the default
+  budget covers the largest solo grant), so results equal
+  :class:`~repro.sim.batch.BatchedSimulation` on the same configs.
+
+Parity with the event-driven :func:`repro.telephony.fleet.run_cell` is
+statistical (same contention model, different clocking) — the
+convergence test asserts Jain/MOS agreement, not bitwise equality.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.config import FleetConfig, SessionConfig
+from repro.lte.shared_cell import SharedCellArray
+from repro.metrics.stats import jain_index
+from repro.sim.batch import BatchedSimulation
+from repro.telephony.fleet import CellResult, member_configs
+from repro.telephony.uplink import UplinkProfile, cell_batch_unsupported_reason
+from repro.video.quality import mos_score
+
+
+def _cell_fleets(
+    cells: Sequence[Sequence[SessionConfig]],
+    fleets,
+) -> List[FleetConfig]:
+    """Normalise ``fleets`` to one :class:`FleetConfig` per cell."""
+    if fleets is None:
+        return [
+            FleetConfig(ues=len(members), seed=members[0].seed if members else 0)
+            for members in cells
+        ]
+    if isinstance(fleets, FleetConfig):
+        return [fleets] * len(cells)
+    fleets = list(fleets)
+    if len(fleets) != len(cells):
+        raise ValueError(
+            f"{len(fleets)} fleet configs for {len(cells)} cells"
+        )
+    return fleets
+
+
+class BatchedCellSimulation(BatchedSimulation):
+    """Advance a homogeneous block of C shared cells in 1 ms lockstep.
+
+    ``cells`` is a sequence of per-cell member-config lists; every cell
+    must have the same member count and every member the same grid
+    cadences (:meth:`UplinkProfile.cell_signature`), while per-member
+    parameters and per-cell fleet parameters (PRB budget, PF coupling,
+    background population) may vary freely.  ``fleets`` is one
+    :class:`FleetConfig` per cell (a single instance is replicated; note
+    that replication also replicates the background rng seed).
+    """
+
+    def __init__(
+        self,
+        cells: Sequence[Sequence[SessionConfig]],
+        fleets=None,
+    ):
+        cells = [list(members) for members in cells]
+        if not cells:
+            raise ValueError("empty cell block")
+        fleet_list = _cell_fleets(cells, fleets)
+        for members, fleet in zip(cells, fleet_list):
+            reason = cell_batch_unsupported_reason(members, fleet)
+            if reason is not None:
+                raise ValueError(
+                    f"cell unsupported by the batched cell engine: {reason}"
+                )
+        signature = UplinkProfile.from_config(cells[0][0]).cell_signature(
+            len(cells[0])
+        )
+        for members in cells[1:]:
+            other = UplinkProfile.from_config(members[0]).cell_signature(
+                len(members)
+            )
+            if other != signature:
+                raise ValueError(
+                    "cell block is not structurally homogeneous: "
+                    f"{other} != {signature} "
+                    "(group cells with plan_cell_blocks)"
+                )
+        self.cells = cells
+        self.fleets = fleet_list
+        self.members_per_cell = len(cells[0])
+        flat = [config for members in cells for config in members]
+        super().__init__(flat)
+        self._cells = SharedCellArray(
+            fleet_list, self.members_per_cell, self._ue.cell
+        )
+
+    def _subframe(self, k: int, now: float):
+        loads = self._cells.member_loads(k, now)
+        return self._ue.subframe(now, loads=loads, cells=self._cells)
+
+    def run_cells(
+        self, duration: Optional[float] = None, warmup: float = 0.0
+    ) -> List[CellResult]:
+        """Run the block; one :class:`CellResult` per cell, in order."""
+        results = self.run(duration, warmup=warmup)
+        bytes_sent = self._ue.bytes_sent - self._baseline_bytes
+        n = self.members_per_cell
+        cell_results = []
+        for index, fleet in enumerate(self.fleets):
+            members = results[index * n : (index + 1) * n]
+            member_bytes = tuple(
+                float(value) for value in bytes_sent[index * n : (index + 1) * n]
+            )
+            member_mos = tuple(
+                mos_score(result.summary.quality.mos_pdf) for result in members
+            )
+            cell_results.append(
+                CellResult(
+                    fleet=fleet,
+                    results=members,
+                    jain=jain_index(member_bytes),
+                    member_bytes=member_bytes,
+                    member_mos=member_mos,
+                    meter=None,
+                )
+            )
+        return cell_results
+
+
+def run_batched_cells(
+    cells: Sequence[Sequence[SessionConfig]],
+    fleets=None,
+    duration: Optional[float] = None,
+    warmup: float = 0.0,
+) -> List[CellResult]:
+    """Build and run one batched cell block."""
+    return BatchedCellSimulation(cells, fleets=fleets).run_cells(
+        duration, warmup=warmup
+    )
+
+
+def run_batched_cell(
+    config: SessionConfig,
+    ues: int = 4,
+    fleet: Optional[FleetConfig] = None,
+    duration: Optional[float] = None,
+    warmup: float = 0.0,
+) -> CellResult:
+    """Single-cell convenience mirroring
+    :func:`repro.telephony.uplink.run_uplink_cell` (and, statistically,
+    :func:`repro.telephony.fleet.run_cell`)."""
+    if fleet is None:
+        fleet = FleetConfig(ues=ues, seed=config.seed)
+    return run_batched_cells(
+        [member_configs(config, ues)], fleets=[fleet], duration=duration,
+        warmup=warmup,
+    )[0]

@@ -37,11 +37,11 @@ from __future__ import annotations
 import heapq
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, Dict, List, Optional, Tuple
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.config import SessionConfig, VideoConfig
+from repro.config import FleetConfig, SessionConfig, VideoConfig
 from repro.lte.cell import UPDATE_INTERVAL as CELL_UPDATE_INTERVAL
 from repro.lte.cell import GridCellLoad
 from repro.lte.channel import GridChannel
@@ -114,6 +114,31 @@ def batch_unsupported_reason(config: SessionConfig) -> Optional[str]:
     for name, value in named.items():
         if not _ms_aligned(value):
             return f"{name}={value!r} is not on the 1 ms subframe grid"
+    return None
+
+
+def cell_batch_unsupported_reason(
+    configs: Sequence[SessionConfig], fleet: FleetConfig
+) -> Optional[str]:
+    """Why this member list + fleet cannot run as one batched cell.
+
+    The cell-homogeneity contract: every member must individually pass
+    :func:`batch_unsupported_reason`, and all members must share the
+    profile's grid cadences (per-member *parameters* — seeds, RSS,
+    speed, rates — may vary freely, as may the per-cell fleet
+    parameters across a batched block).
+    """
+    if not configs:
+        return "a cell needs at least one member config"
+    for config in configs:
+        reason = batch_unsupported_reason(config)
+        if reason is not None:
+            return reason
+    signatures = {UplinkProfile.from_config(c).signature() for c in configs}
+    if len(signatures) > 1:
+        return "cell members are not structurally homogeneous"
+    if fleet.prb_budget < 1:
+        return "fleet.prb_budget must be at least 1 PRB"
     return None
 
 
@@ -194,6 +219,13 @@ class UplinkProfile:
             self.k_consecutive,
             self.tbs_window,
         )
+
+    def cell_signature(self, members: int) -> tuple:
+        """Cell-block homogeneity key: cells batched together must share
+        every member cadence *and* the member count (per-cell fleet
+        parameters — PRB budget, PF coupling, background — may
+        differ)."""
+        return self.signature() + (members,)
 
 
 class ReceiverState:
@@ -447,6 +479,14 @@ class UplinkSession:
         self._last_flush_k = 0
         self._baseline_fw_drops = 0
         self._baseline_pacer_drops = 0
+        #: Cumulative post-grant drained bytes (the fleet fairness base).
+        self.bytes_sent = 0.0
+        self._baseline_bytes = 0.0
+        #: Shared-cell membership (``GridCellMemberView``) when this
+        #: session was attached to a :class:`~repro.lte.shared_cell.
+        #: GridSharedCell` via :meth:`join_cell`; ``None`` runs the
+        #: session's own independent cell-load model.
+        self._cell_view = None
         self._k = 0
         self._now = 0.0
         self._total_ticks = 0
@@ -512,13 +552,16 @@ class UplinkSession:
         reported = ring[0]
         level = fw.level
         ring.append(level)
+        view = self._cell_view
+        load = self._cell.load if view is None else view.load
         grant = self._sched.grant_for_subframe(
-            reported, level, self._channel.cqi(now), self._cell.load
+            reported, level, self._channel.cqi(now), load
         )
         tbs = 0.0
         if grant > 0.0:
             completed = fw.drain(grant)
             tbs = level - fw.level
+            self.bytes_sent += tbs
             if completed:
                 slot = self._in_flight.setdefault(k + profile.deliver_ticks, [])
                 for pkt in completed:
@@ -553,6 +596,7 @@ class UplinkSession:
             log.start_time = now
             self._baseline_fw_drops = fw.dropped_packets
             self._baseline_pacer_drops = self._pacer.dropped_frames
+            self._baseline_bytes = self.bytes_sent
 
         if k < self._total_ticks:
             self.sim.at((k + 1) * MS, self._tick)
@@ -586,16 +630,19 @@ class UplinkSession:
 
     # -- public API ------------------------------------------------------
 
-    def run(self, duration: Optional[float] = None, warmup: float = 0.0) -> SessionResult:
-        """Run the profile and return logs + summary (reference engine)."""
-        duration = duration if duration is not None else self.config.duration
-        if not _ms_aligned(duration) or not _ms_aligned(warmup):
-            raise ValueError("duration and warmup must be on the 1 ms grid")
-        self._warm_ticks = _ticks(warmup)
-        self._total_ticks = self._warm_ticks + _ticks(duration)
-        if self._total_ticks > 0:
-            self.sim.at(MS, self._tick)
-            self.sim.run(self._total_ticks * MS)
+    def join_cell(self, cell) -> None:
+        """Attach this session to a :class:`~repro.lte.shared_cell.
+        GridSharedCell`: its load view replaces the session's own
+        cell-load model in the grant path and every PRB grant claims
+        against the shared per-subframe budget (the grid counterpart of
+        ``TelephonySession``'s ``cell=`` wiring)."""
+        view = cell.add_member(self._cell)
+        self._cell_view = view
+        self._sched.attach_cell(view)
+
+    def _finalise(self, duration: float) -> SessionResult:
+        """Close the logs after the last tick (shared by :meth:`run`
+        and the cell driver's external tick loop)."""
         log = self.log
         self._receiver.finalise(log)
         log.congestion_events = self._encoding.congestion_events
@@ -610,9 +657,114 @@ class UplinkSession:
         )
         return SessionResult(config=self.config, summary=summary, log=log)
 
+    def run(self, duration: Optional[float] = None, warmup: float = 0.0) -> SessionResult:
+        """Run the profile and return logs + summary (reference engine)."""
+        duration = duration if duration is not None else self.config.duration
+        if not _ms_aligned(duration) or not _ms_aligned(warmup):
+            raise ValueError("duration and warmup must be on the 1 ms grid")
+        self._warm_ticks = _ticks(warmup)
+        self._total_ticks = self._warm_ticks + _ticks(duration)
+        if self._total_ticks > 0:
+            self.sim.at(MS, self._tick)
+            self.sim.run(self._total_ticks * MS)
+        return self._finalise(duration)
+
 
 def run_uplink_session(
     config: SessionConfig, duration: Optional[float] = None, warmup: float = 0.0
 ) -> SessionResult:
     """Build and run one scalar lockstep-profile session."""
     return UplinkSession(config).run(duration, warmup=warmup)
+
+
+class UplinkCellSession:
+    """Scalar reference engine for the *cell* lockstep profile.
+
+    N :class:`UplinkSession` members joined onto one
+    :class:`~repro.lte.shared_cell.GridSharedCell`, all clocked by a
+    single external tick loop: each 1 ms tick the cell advances first
+    (background crowd, share decay, PRB budget reset), then every
+    member runs its full subframe in attach order, claiming grants from
+    the shared budget.  This is the bit-exactness reference the batched
+    :class:`repro.sim.batch_cell.BatchedCellSimulation` must reproduce
+    (``tests/test_batch_cell.py``), exactly as :class:`UplinkSession`
+    is the reference for :class:`repro.sim.batch.BatchedSimulation`;
+    parity with the event-driven :func:`repro.telephony.fleet.run_cell`
+    is statistical (same contention model, different clocking), not
+    bitwise.
+    """
+
+    def __init__(
+        self,
+        configs: Sequence[SessionConfig],
+        fleet: Optional[FleetConfig] = None,
+    ):
+        configs = list(configs)
+        if fleet is None:
+            fleet = FleetConfig(
+                ues=len(configs), seed=configs[0].seed if configs else 0
+            )
+        reason = cell_batch_unsupported_reason(configs, fleet)
+        if reason is not None:
+            raise ValueError(f"cell unsupported by the lockstep profile: {reason}")
+        from repro.lte.shared_cell import GridSharedCell
+
+        self.fleet = fleet
+        self.cell = GridSharedCell(fleet)
+        self.members = [UplinkSession(config) for config in configs]
+        for member in self.members:
+            member.join_cell(self.cell)
+
+    def run(self, duration: Optional[float] = None, warmup: float = 0.0):
+        """Run the cell; returns a :class:`repro.telephony.fleet.CellResult`."""
+        from repro.metrics.stats import jain_index
+        from repro.telephony.fleet import CellResult
+        from repro.video.quality import mos_score
+
+        members = self.members
+        duration = duration if duration is not None else members[0].config.duration
+        if not _ms_aligned(duration) or not _ms_aligned(warmup):
+            raise ValueError("duration and warmup must be on the 1 ms grid")
+        warm_ticks = _ticks(warmup)
+        total_ticks = warm_ticks + _ticks(duration)
+        for member in members:
+            member._warm_ticks = warm_ticks
+            member._total_ticks = 0  # the cell loop clocks the ticks
+        cell = self.cell
+        for k in range(1, total_ticks + 1):
+            cell.begin_tick(k, k * MS)
+            for member in members:
+                member._tick()
+        results = [member._finalise(duration) for member in members]
+        member_bytes = tuple(
+            member.bytes_sent - member._baseline_bytes for member in members
+        )
+        member_mos = tuple(
+            mos_score(result.summary.quality.mos_pdf) for result in results
+        )
+        return CellResult(
+            fleet=self.fleet,
+            results=results,
+            jain=jain_index(member_bytes),
+            member_bytes=member_bytes,
+            member_mos=member_mos,
+            meter=None,
+        )
+
+
+def run_uplink_cell(
+    config: SessionConfig,
+    ues: int = 4,
+    fleet: Optional[FleetConfig] = None,
+    duration: Optional[float] = None,
+    warmup: float = 0.0,
+):
+    """Build and run one scalar lockstep cell of ``ues`` callers
+    (the grid counterpart of :func:`repro.telephony.fleet.run_cell`)."""
+    from repro.telephony.fleet import member_configs
+
+    if fleet is None:
+        fleet = FleetConfig(ues=ues, seed=config.seed)
+    return UplinkCellSession(member_configs(config, ues), fleet=fleet).run(
+        duration, warmup=warmup
+    )

@@ -45,6 +45,16 @@ RATIO_CLAMP = 8.0
 #: ignoring noise above it.
 RATIO_CLAMPS = {
     "batch.batched_speedup": 12.0,
+    "fleet_batch.batched_speedup": 12.0,
+}
+
+#: Absolute floors that gate regardless of the baseline or tolerance.
+#: The batched shared-cell engine's acceptance criterion is >=5x
+#: aggregate cell-sessions/sec over the scalar cell reference at its
+#: largest measured block (C*N >= 512 coupled sessions); a fresh record
+#: below the floor fails even if the committed baseline also slipped.
+RATIO_FLOORS = {
+    "fleet_batch.batched_speedup": 5.0,
 }
 
 #: Default allowed fractional regression before the gate fails.
@@ -69,6 +79,11 @@ def tracked_ratios(record: dict) -> dict:
     batch = record.get("batch")
     if batch and batch.get("batched_speedup") is not None:
         ratios["batch.batched_speedup"] = float(batch["batched_speedup"])
+    fleet_batch = record.get("fleet_batch")
+    if fleet_batch and fleet_batch.get("batched_speedup") is not None:
+        ratios["fleet_batch.batched_speedup"] = float(
+            fleet_batch["batched_speedup"]
+        )
     return ratios
 
 
@@ -96,6 +111,13 @@ def compare(fresh: dict, baseline: dict, tolerance: float = DEFAULT_TOLERANCE) -
             failures.append(
                 f"{name}: {fresh_value} < floor {floor:.3f} "
                 f"(baseline {base_value}, tolerance {tolerance:.0%})"
+            )
+    for name, floor in sorted(RATIO_FLOORS.items()):
+        fresh_value = fresh_ratios.get(name)
+        if fresh_value is not None and fresh_value < floor:
+            failures.append(
+                f"{name}: {fresh_value} < absolute floor {floor} "
+                "(design requirement, independent of baseline)"
             )
     return failures
 
