@@ -9,15 +9,22 @@ the mismatch-M histogram, frame-delay and PSNR distributions,
 compression mode switches, plus the wall-clock span profile and the
 straggler (slowest session) of the sweep.
 
+Pointed at a completed **run directory** (a ledgered run's artifact
+directory, see docs/OBSERVABILITY.md "Run ledger & live telemetry"),
+it skips the sweep and renders the same report from the run's final
+``registry.json``, prefixed with the manifest's identity line.
+
 Usage::
 
     python examples/metrics_dashboard.py [sessions] [jobs]
+    python examples/metrics_dashboard.py .repro_runs/<run-id>
 """
 
 import sys
+from pathlib import Path
 
 from repro.experiments.parallel import SessionTask, merged_meter, resolve_jobs, run_tasks
-from repro.obs import METRIC_CATALOGUE
+from repro.obs import METRIC_CATALOGUE, load_registry, read_manifest
 from repro.plotting import bar_chart
 from repro.roi.users import USER_PROFILES
 
@@ -28,31 +35,8 @@ WARMUP = 5.0
 SKETCHES = ("receiver.mismatch_s", "receiver.delay_s", "receiver.psnr_db")
 
 
-def main() -> None:
-    sessions = int(sys.argv[1]) if len(sys.argv) > 1 else 5
-    jobs = int(sys.argv[2]) if len(sys.argv) > 2 else 0
-    workers = resolve_jobs(jobs)
-    profiles = [profile.name for profile in USER_PROFILES]
-    tasks = [
-        SessionTask(
-            scenario_name="cellular",
-            scheme="poi360",
-            transport="fbcc",
-            duration=DURATION,
-            warmup=WARMUP,
-            seed=1 + index,
-            profile_name=profiles[index % len(profiles)],
-            meter=True,
-        )
-        for index in range(sessions)
-    ]
-    print(f"running {sessions} metered session(s) across {workers} worker(s)...")
-    results = run_tasks(
-        tasks,
-        jobs=jobs,
-        progress=lambda done, total, _r: print(f"  {done}/{total} sessions done"),
-    )
-    fleet = merged_meter(results, workers=workers)
+def render(fleet, tasks=None) -> None:
+    """The run-health report for one fleet registry."""
     counters = fleet.metrics.counters
 
     print("\n=== run health ===")
@@ -82,13 +66,49 @@ def main() -> None:
             f"mean={stats['mean_s'] * 1e3:8.3f} ms  total={stats['total_s']:.3f} s"
         )
     straggler = fleet.metrics.gauges.get("fleet.straggler_index")
-    if straggler is not None:
+    if straggler is not None and tasks is not None:
         task = tasks[int(straggler)]
         print(
             f"\nstraggler: task {int(straggler)} "
             f"(profile {task.profile_name}, seed {task.seed}) at "
             f"{fleet.metrics.gauges['fleet.straggler_s']:.2f} s wall clock"
         )
+
+
+def main() -> None:
+    if len(sys.argv) > 1 and Path(sys.argv[1]).is_dir():
+        run_dir = Path(sys.argv[1])
+        manifest = read_manifest(run_dir)
+        print(
+            f"run {manifest.get('run_id')}  command={manifest.get('command')}  "
+            f"status={manifest.get('status')}"
+        )
+        render(load_registry(run_dir))
+        return
+    sessions = int(sys.argv[1]) if len(sys.argv) > 1 else 5
+    jobs = int(sys.argv[2]) if len(sys.argv) > 2 else 0
+    workers = resolve_jobs(jobs)
+    profiles = [profile.name for profile in USER_PROFILES]
+    tasks = [
+        SessionTask(
+            scenario_name="cellular",
+            scheme="poi360",
+            transport="fbcc",
+            duration=DURATION,
+            warmup=WARMUP,
+            seed=1 + index,
+            profile_name=profiles[index % len(profiles)],
+            meter=True,
+        )
+        for index in range(sessions)
+    ]
+    print(f"running {sessions} metered session(s) across {workers} worker(s)...")
+    results = run_tasks(
+        tasks,
+        jobs=jobs,
+        progress=lambda done, total, _r: print(f"  {done}/{total} sessions done"),
+    )
+    render(merged_meter(results, workers=workers), tasks=tasks)
 
 
 if __name__ == "__main__":

@@ -10,7 +10,9 @@ Subcommands:
 - ``metrics``   a metered sweep of sessions — merges per-session
                 registries into one fleet registry and prints a summary
                 table, histogram sketches and span timings (or exports
-                OpenMetrics / JSON with ``--format``);
+                OpenMetrics / JSON with ``--format``); ``--batch`` runs
+                the sweep as lockstep cohorts, ``--from-run`` renders a
+                completed run directory's final registry instead;
 - ``fleet``     multi-UE shared-cell capacity sweep — calls-per-cell
                 vs. MOS/rate/delay plus per-cell Jain fairness, whole
                 cells sharded across workers (see docs/FLEET.md);
@@ -22,10 +24,17 @@ Subcommands:
 - ``profile``   cProfile one session and print the hot functions;
 - ``perf``      the perf microbenchmark — times the Fig. 11-14
                 micro-grid serial vs parallel and writes
-                ``BENCH_perf.json``.
+                ``BENCH_perf.json``;
+- ``watch``     inspect (or ``--follow``) a run-ledger directory — the
+                manifest, the live heartbeat streams and the latest
+                OpenMetrics snapshot (docs/OBSERVABILITY.md).
 
 ``--jobs N`` (or ``REPRO_JOBS``) fans independent sessions across ``N``
-worker processes wherever a command runs experiment grids.
+worker processes wherever a command runs experiment grids.  ``--run-dir
+DIR`` (or ``REPRO_RUN_DIR``) makes ``metrics``/``fleet``/``perf`` open
+a **run ledger** — a per-run artifact directory streaming a heartbeat
+JSONL and periodic OpenMetrics snapshots while the command runs
+(:mod:`repro.obs.ledger`).
 """
 
 from __future__ import annotations
@@ -148,36 +157,41 @@ def cmd_trace(args) -> int:
     return 0
 
 
-def cmd_metrics(args) -> int:
+def _open_ledger(args, command: str):
+    """Open a run ledger when ``--run-dir``/``REPRO_RUN_DIR`` opted in.
+
+    Returns None otherwise.  The manifest's config snapshot is the full
+    parsed argument namespace (JSON-safe plain values only).
+    """
+    from repro.obs.ledger import RunLedger, resolve_run_root
+
+    root = resolve_run_root(getattr(args, "run_dir", None))
+    if root is None:
+        return None
+    config = {
+        key: value
+        for key, value in sorted(vars(args).items())
+        if isinstance(value, (str, int, float, bool, type(None)))
+    }
+    ledger = RunLedger.open(command, config=config, root=root)
+    print(f"run ledger: {ledger.run_dir}", file=sys.stderr)
+    return ledger
+
+
+def _finish_ledger(ledger, meter=None) -> None:
+    """Seal a ledgered run: cache-stats copy, then the final manifest."""
+    if ledger is None:
+        return
     from repro.experiments import cache
-    from repro.experiments.parallel import SessionTask, merged_meter, resolve_jobs, run_tasks
+
+    ledger.write_cache_stats(cache.stats())
+    ledger.finish("ok", meter=meter)
+    print(f"run ledger sealed: {ledger.manifest_path}", file=sys.stderr)
+
+
+def _render_metrics(args, fleet, header: str) -> None:
+    """Render a fleet registry to ``--output``/stdout in ``--format``."""
     from repro.obs.metrics import METRIC_CATALOGUE
-
-    if args.transport == "fbcc" and args.scenario == "wireline":
-        print("error: FBCC needs the LTE diagnostic interface", file=sys.stderr)
-        return 2
-    tasks = [
-        SessionTask(
-            scenario_name=args.scenario,
-            scheme=args.scheme,
-            transport=args.transport,
-            duration=args.duration,
-            warmup=args.warmup,
-            seed=args.seed + index,
-            profile_name=args.profile,
-            meter=True,
-        )
-        for index in range(args.sessions)
-    ]
-    workers = resolve_jobs(args.jobs)
-
-    def _progress(done: int, total: int, _result) -> None:
-        print(f"  session {done}/{total} done", file=sys.stderr)
-
-    results = run_tasks(
-        tasks, jobs=args.jobs, progress=_progress if args.progress else None
-    )
-    fleet = merged_meter(results, workers=workers, cache_counters=cache.counters())
 
     handle = open(args.output, "w") if args.output else sys.stdout
     try:
@@ -186,7 +200,7 @@ def cmd_metrics(args) -> int:
         elif args.format == "json":
             handle.write(json.dumps(export.metrics_to_dict(fleet), indent=1) + "\n")
         else:  # summary
-            handle.write(f"sessions={args.sessions} workers={workers}\n")
+            handle.write(header)
             handle.write("counters\n")
             for subsystem, names in sorted(
                 fleet.metrics.counters_by_subsystem().items()
@@ -223,6 +237,110 @@ def cmd_metrics(args) -> int:
             handle.close()
     if args.output:
         print(f"metrics written to {args.output}", file=sys.stderr)
+
+
+def cmd_metrics(args) -> int:
+    from repro.experiments import cache
+    from repro.experiments.parallel import (
+        SessionTask,
+        merged_meter,
+        resolve_jobs,
+        run_tasks,
+    )
+
+    if args.from_run:
+        from repro.obs.ledger import load_registry
+
+        try:
+            fleet = load_registry(args.from_run)
+        except (OSError, json.JSONDecodeError, ValueError) as error:
+            print(f"error: cannot load run registry: {error}", file=sys.stderr)
+            return 2
+        _render_metrics(args, fleet, header=f"run={args.from_run}\n")
+        return 0
+    if args.transport == "fbcc" and args.scenario == "wireline":
+        print("error: FBCC needs the LTE diagnostic interface", file=sys.stderr)
+        return 2
+    workers = resolve_jobs(args.jobs)
+    ledger = _open_ledger(args, "metrics")
+
+    unit = "cohort" if args.batch else "session"
+
+    def _stderr_progress(done: int, total: int, _result) -> None:
+        print(f"  {unit} {done}/{total} done", file=sys.stderr)
+
+    inner = _stderr_progress if args.progress else None
+    try:
+        if args.batch:
+            from repro.experiments.batch import BatchRunner
+            from repro.experiments.fleet import lockstep_scenario
+
+            configs = [
+                lockstep_scenario(
+                    args.scenario,
+                    scheme=args.scheme,
+                    transport=args.transport,
+                    duration=args.duration,
+                    seed=args.seed + index,
+                )
+                for index in range(args.sessions)
+            ]
+            runner = BatchRunner(jobs=args.jobs)
+            progress = inner
+            heartbeat = None
+            if ledger is not None:
+                progress = ledger.progress(
+                    kind="session", workers=workers, inner=inner
+                )
+                heartbeat = str(ledger.heartbeat_path)
+            try:
+                results, engine = runner.run_metered(
+                    configs, warmup=args.warmup, progress=progress,
+                    heartbeat_path=heartbeat,
+                )
+            except ValueError as error:
+                print(f"error: {error}", file=sys.stderr)
+                if ledger is not None and not ledger.finished:
+                    ledger.finish("error", error=str(error))
+                return 2
+            fleet = merged_meter(
+                results, workers=workers, cache_counters=cache.counters()
+            )
+            fleet.merge(engine)
+            # Batched sessions carry no per-session meters (the engine
+            # meter is cohort-level), so count them here instead.
+            fleet.inc("fleet.sessions", float(len(results)))
+        else:
+            tasks = [
+                SessionTask(
+                    scenario_name=args.scenario,
+                    scheme=args.scheme,
+                    transport=args.transport,
+                    duration=args.duration,
+                    warmup=args.warmup,
+                    seed=args.seed + index,
+                    profile_name=args.profile,
+                    meter=True,
+                )
+                for index in range(args.sessions)
+            ]
+            progress = inner
+            if ledger is not None:
+                progress = ledger.progress(
+                    kind="session", workers=workers, inner=inner
+                )
+            results = run_tasks(tasks, jobs=args.jobs, progress=progress)
+            fleet = merged_meter(
+                results, workers=workers, cache_counters=cache.counters()
+            )
+    except BaseException:
+        if ledger is not None and not ledger.finished:
+            ledger.finish("error")
+        raise
+    _render_metrics(
+        args, fleet, header=f"sessions={args.sessions} workers={workers}\n"
+    )
+    _finish_ledger(ledger, meter=fleet)
     return 0
 
 
@@ -248,29 +366,48 @@ def cmd_fleet(args) -> int:
             file=sys.stderr,
         )
         return 2
-    meter = bool(args.metrics_output) or args.meter
+    ledger = _open_ledger(args, "fleet")
+    # A ledgered run streams the live registry, so metering is implied.
+    meter = bool(args.metrics_output) or args.meter or ledger is not None
 
-    def _progress(done: int, total: int, _result) -> None:
-        print(f"  cell {done}/{total} done", file=sys.stderr)
+    unit = "cell block" if args.batch else "cell"
 
-    sweep = fleet_sweep(
-        args.scenario,
-        calls=calls,
-        cells=args.cells,
-        scheme=args.scheme,
-        transport=args.transport,
-        duration=args.duration,
-        warmup=args.warmup,
-        seed=args.seed,
-        background_ues=args.background_ues,
-        background_load=args.background_load,
-        prb_budget=args.prb_budget,
-        rotate_profiles=args.rotate_profiles,
-        jobs=args.jobs,
-        meter=meter,
-        batch=args.batch,
-        progress=_progress if args.progress else None,
-    )
+    def _stderr_progress(done: int, total: int, _result) -> None:
+        print(f"  {unit} {done}/{total} done", file=sys.stderr)
+
+    inner = _stderr_progress if args.progress else None
+    progress = inner
+    heartbeat = None
+    if ledger is not None:
+        progress = ledger.progress(
+            kind="cell", workers=resolve_jobs(args.jobs), inner=inner
+        )
+        if args.batch:
+            heartbeat = str(ledger.heartbeat_path)
+    try:
+        sweep = fleet_sweep(
+            args.scenario,
+            calls=calls,
+            cells=args.cells,
+            scheme=args.scheme,
+            transport=args.transport,
+            duration=args.duration,
+            warmup=args.warmup,
+            seed=args.seed,
+            background_ues=args.background_ues,
+            background_load=args.background_load,
+            prb_budget=args.prb_budget,
+            rotate_profiles=args.rotate_profiles,
+            jobs=args.jobs,
+            meter=meter,
+            batch=args.batch,
+            progress=progress,
+            heartbeat_path=heartbeat,
+        )
+    except BaseException:
+        if ledger is not None and not ledger.finished:
+            ledger.finish("error")
+        raise
     rows = [point.to_dict() for point in sweep.points]
     if args.json:
         payload = {
@@ -316,6 +453,7 @@ def cmd_fleet(args) -> int:
             json.dump(deterministic_registry_dict(sweep.meter), handle, indent=1)
             handle.write("\n")
         print(f"fleet registry written to {args.metrics_output}", file=sys.stderr)
+    _finish_ledger(ledger, meter=sweep.meter)
     return 0
 
 
@@ -411,16 +549,113 @@ def cmd_profile(args) -> int:
 def cmd_perf(args) -> int:
     from repro.experiments.perf import run_perf_bench
 
-    record = run_perf_bench(
-        duration=args.duration,
-        warmup=args.warmup,
-        jobs=args.jobs,
-        output=args.output,
-        batch=args.batch,
-        fleet_batch=args.fleet_batch,
-    )
+    ledger = _open_ledger(args, "perf")
+    try:
+        record = run_perf_bench(
+            duration=args.duration,
+            warmup=args.warmup,
+            jobs=args.jobs,
+            output=args.output,
+            batch=args.batch,
+            fleet_batch=args.fleet_batch,
+            ledger=ledger,
+        )
+    except BaseException:
+        if ledger is not None and not ledger.finished:
+            ledger.finish("error")
+        raise
     print(json.dumps(record, indent=1))
+    _finish_ledger(ledger)
     return 0
+
+
+def _watch_render(run_dir) -> str:
+    """One full ``repro360 watch`` report of a run directory."""
+    from repro.obs.ledger import (
+        read_heartbeats,
+        read_manifest,
+        snapshot_paths,
+    )
+
+    manifest = read_manifest(run_dir)
+    beats = read_heartbeats(run_dir)
+    snapshots = snapshot_paths(run_dir)
+    lines = [
+        f"run {manifest.get('run_id')}  command={manifest.get('command')}  "
+        f"status={manifest.get('status')}",
+        f"  started {manifest.get('started_iso')}"
+        + (
+            f"  finished after {manifest['elapsed_s']:g} s"
+            if "elapsed_s" in manifest
+            else ""
+        ),
+    ]
+    if manifest.get("code_salt"):
+        lines.append(f"  code salt {manifest['code_salt']}")
+    # Last parent-side record per stream kind (session/cell/leg beats
+    # carry done/total/eta; cohort beats are keyed per (pid, cohort)).
+    parents = {}
+    cohorts = {}
+    for record in beats:
+        kind = record.get("kind")
+        if kind == "cohort":
+            cohorts[(record.get("pid"), record.get("cohort"))] = record
+        else:
+            parents[kind] = record
+    lines.append(f"heartbeats: {len(beats)} record(s)")
+    for kind, record in sorted(parents.items()):
+        done, total = record.get("done"), record.get("total")
+        eta = record.get("eta_s")
+        detail = "" if done is None else f" {done}/{total}"
+        if record.get("leg"):
+            detail += f" leg={record['leg']}"
+        if eta is not None:
+            detail += f" eta {eta:g} s"
+        lines.append(f"  {kind:<8}{detail}  (elapsed {record.get('elapsed_s')} s)")
+    for (pid, label), record in sorted(
+        cohorts.items(), key=lambda item: (str(item[0][0]), str(item[0][1]))
+    ):
+        eta = record.get("eta_s")
+        eta_txt = "" if eta is None else f" eta {eta:g} s"
+        lines.append(
+            f"  cohort pid={pid} label={label} tick {record.get('tick')}/"
+            f"{record.get('ticks')} x{record.get('sessions')} sessions{eta_txt}"
+        )
+    if snapshots:
+        lines.append(f"snapshots: {len(snapshots)} (latest {snapshots[-1].name})")
+        lines.append("  headline counters (latest snapshot)")
+        for raw in snapshots[-1].read_text().splitlines():
+            if raw.startswith("#") or not raw.strip():
+                continue
+            name, _, value = raw.partition(" ")
+            if name.endswith("_total") and name.startswith(
+                ("repro_fleet_", "repro_batch_", "repro_session_")
+            ):
+                lines.append(f"    {name:<34} {value}")
+    else:
+        lines.append("snapshots: none yet")
+    return "\n".join(lines)
+
+
+def cmd_watch(args) -> int:
+    import time as _time
+    from pathlib import Path
+
+    from repro.obs.ledger import MANIFEST_NAME, read_manifest
+
+    run_dir = Path(args.run_dir)
+    if not (run_dir / MANIFEST_NAME).exists():
+        print(f"error: no {MANIFEST_NAME} in {run_dir}", file=sys.stderr)
+        return 2
+    if not args.follow:
+        print(_watch_render(run_dir))
+        return 0
+    while True:
+        print(_watch_render(run_dir))
+        print()
+        if read_manifest(run_dir).get("status") != "running":
+            return 0
+        _time.sleep(args.interval)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -509,6 +744,28 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print per-session completion lines to stderr",
     )
+    metrics_parser.add_argument(
+        "--batch",
+        action="store_true",
+        help="run the sweep as lockstep cohorts on the batched engine "
+        "(scenario coerced to the 1 ms grid; registry comes from the "
+        "engine's live cohort meters)",
+    )
+    metrics_parser.add_argument(
+        "--run-dir",
+        metavar="DIR",
+        default=None,
+        help="open a run ledger under DIR (or REPRO_RUN_DIR): manifest, "
+        "live heartbeat stream, periodic OpenMetrics snapshots "
+        "(docs/OBSERVABILITY.md)",
+    )
+    metrics_parser.add_argument(
+        "--from-run",
+        metavar="RUN_DIR",
+        default=None,
+        help="skip running: render the final registry artifact of a "
+        "completed run directory instead",
+    )
     metrics_parser.set_defaults(func=cmd_metrics)
 
     fleet_parser = sub.add_parser(
@@ -592,6 +849,13 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print per-cell completion lines to stderr",
     )
+    fleet_parser.add_argument(
+        "--run-dir",
+        metavar="DIR",
+        default=None,
+        help="open a run ledger under DIR (or REPRO_RUN_DIR); implies "
+        "--meter (docs/OBSERVABILITY.md)",
+    )
     fleet_parser.set_defaults(func=cmd_fleet)
 
     sweep_parser = sub.add_parser("sweep", help="all scheme/transport combos")
@@ -658,7 +922,33 @@ def build_parser() -> argparse.ArgumentParser:
         "members per tick vs the scalar cell reference)",
     )
     perf_parser.add_argument("--output", metavar="FILE.json", default="BENCH_perf.json")
+    perf_parser.add_argument(
+        "--run-dir",
+        metavar="DIR",
+        default=None,
+        help="open a run ledger under DIR (or REPRO_RUN_DIR); each "
+        "finished leg appends a heartbeat record",
+    )
     perf_parser.set_defaults(func=cmd_perf)
+
+    watch_parser = sub.add_parser(
+        "watch", help="inspect (or tail) a run-ledger directory"
+    )
+    watch_parser.add_argument(
+        "run_dir", metavar="RUN_DIR", help="a run directory holding manifest.json"
+    )
+    watch_parser.add_argument(
+        "--follow",
+        action="store_true",
+        help="re-render every --interval seconds until the run finishes",
+    )
+    watch_parser.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        help="seconds between --follow renders (default 2)",
+    )
+    watch_parser.set_defaults(func=cmd_watch)
     return parser
 
 

@@ -69,22 +69,67 @@ def plan_cohorts(
 DEFAULT_SCALAR_CROSSOVER = 12
 
 
-def _run_cohort(payload) -> List[SessionResult]:
+def _run_cohort(payload):
     """Worker entry point: run one cohort (pickles across processes).
 
-    ``payload`` is ``(mode, configs, warmup)`` — ``"batched"`` advances
-    the cohort through :func:`repro.sim.batch.run_batched`, ``"scalar"``
-    runs each session through the scalar lockstep reference (the
-    small-cohort fast path; bit-identical results either way).
+    ``payload`` is ``(mode, configs, warmup, metered, heartbeat_path,
+    label)`` — ``"batched"`` advances the cohort through
+    :func:`repro.sim.batch.run_batched`, ``"scalar"`` runs each session
+    through the scalar lockstep reference (the small-cohort fast path;
+    bit-identical results either way).  Returns ``(results, meter)``;
+    ``meter`` is the cohort's engine :class:`~repro.obs.SessionMeter`
+    (or None when unmetered) and pickles back to the parent.  When
+    ``heartbeat_path`` is set the cohort streams progress records into
+    that run-ledger file from inside the tick loop
+    (:func:`repro.obs.ledger.cohort_heartbeat_callback`).
     """
-    mode, configs, warmup = payload
+    mode, configs, warmup, metered, heartbeat_path, label = payload
+    progress = None
+    if heartbeat_path is not None:
+        from repro.obs.ledger import cohort_heartbeat_callback
+
+        progress = cohort_heartbeat_callback(heartbeat_path, label=label)
     if mode == "scalar":
         from repro.telephony.uplink import run_uplink_session
 
-        return [run_uplink_session(config, warmup=warmup) for config in configs]
+        meter = None
+        if metered:
+            from repro.obs.meter import SessionMeter
+
+            meter = SessionMeter()
+            meter.inc("batch.scalar_fallbacks", float(len(configs)))
+        results = []
+        for index, config in enumerate(configs):
+            results.append(run_uplink_session(config, warmup=warmup))
+            if progress is not None:
+                # Scalar cohorts have no shared tick loop; report whole
+                # sessions instead (tick stays monotone per stream).
+                progress(index + 1, len(configs), len(configs))
+        return results, meter
     from repro.sim.batch import run_batched
 
-    return run_batched(configs, warmup=warmup)
+    meter = None
+    if metered:
+        from repro.obs.meter import SessionMeter
+
+        meter = SessionMeter()
+    results = run_batched(configs, warmup=warmup, meter=meter, progress=progress)
+    return results, meter
+
+
+class CohortOutcome:
+    """One finished cohort, as handed to a ``progress`` callback.
+
+    Shaped like a result object (a ``meter`` attribute plus the result
+    list) so :meth:`repro.obs.ledger.RunLedger.progress` can absorb the
+    cohort's engine meter into the live registry as each cohort lands.
+    """
+
+    __slots__ = ("results", "meter")
+
+    def __init__(self, results: List[SessionResult], meter):
+        self.results = results
+        self.meter = meter
 
 
 class BatchRunner:
@@ -133,6 +178,52 @@ class BatchRunner:
         self, configs: Sequence[SessionConfig], warmup: float = 0.0
     ) -> List[SessionResult]:
         """Run every config; results come back in input order."""
+        results, _ = self._execute(configs, warmup, metered=False)
+        return results
+
+    def run_metered(
+        self,
+        configs: Sequence[SessionConfig],
+        warmup: float = 0.0,
+        progress=None,
+        heartbeat_path=None,
+    ):
+        """Like :meth:`run`, plus a merged cohort-level engine meter.
+
+        Returns ``(results, meter)``: results in input order and one
+        :class:`~repro.obs.SessionMeter` folding every cohort's engine
+        counters (``batch.cohorts``/``batch.sessions``/
+        ``batch.subframes``/``batch.scalar_fallbacks``) and ``batch.run``
+        spans, merged in deterministic cohort order.  ``progress`` is
+        called per finished cohort as ``progress(done, total,
+        CohortOutcome)`` — :meth:`repro.obs.ledger.RunLedger.progress`
+        plugs in directly — and ``heartbeat_path`` streams in-worker
+        cohort records into a run ledger's heartbeat file.  Metering is
+        strictly read-only: results are byte-identical to :meth:`run`.
+        """
+        from repro.obs.meter import SessionMeter
+
+        results, meters = self._execute(
+            configs,
+            warmup,
+            metered=True,
+            progress=progress,
+            heartbeat_path=heartbeat_path,
+        )
+        merged = SessionMeter()
+        for meter in meters:
+            if meter is not None:
+                merged.merge(meter)
+        return results, merged
+
+    def _execute(
+        self,
+        configs: Sequence[SessionConfig],
+        warmup: float,
+        metered: bool,
+        progress=None,
+        heartbeat_path=None,
+    ):
         configs = list(configs)
         supported: List[int] = []
         fallback: List[int] = []
@@ -152,15 +243,20 @@ class BatchRunner:
         # plan_cohorts indexed the supported sublist; map back to the
         # caller's positions.
         cohorts = [[supported[i] for i in cohort] for cohort in cohorts]
+        heartbeat = None if heartbeat_path is None else str(heartbeat_path)
         payloads = [
             (
                 "scalar" if len(cohort) < self.scalar_crossover else "batched",
                 [configs[i] for i in cohort],
                 warmup,
+                metered,
+                heartbeat,
+                label,
             )
-            for cohort in cohorts
+            for label, cohort in enumerate(cohorts)
         ]
         results: List[Optional[SessionResult]] = [None] * len(configs)
+        meters = []
         workers = resolve_jobs(self.jobs)
         serial = (
             workers <= 1
@@ -169,10 +265,18 @@ class BatchRunner:
             or len(payloads) < workers
         )
         if serial:
-            cohort_results = [_run_cohort(payload) for payload in payloads]
+            outcomes = map(_run_cohort, payloads)
         else:
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                cohort_results = list(pool.map(_run_cohort, payloads))
+            pool = ProcessPoolExecutor(max_workers=workers)
+            outcomes = pool.map(_run_cohort, payloads)
+        cohort_results = []
+        for done, (batch, meter) in enumerate(outcomes, start=1):
+            cohort_results.append(batch)
+            meters.append(meter)
+            if progress is not None:
+                progress(done, len(payloads), CohortOutcome(batch, meter))
+        if not serial:
+            pool.shutdown()
         for cohort, batch in zip(cohorts, cohort_results):
             for position, result in zip(cohort, batch):
                 results[position] = result
@@ -183,7 +287,7 @@ class BatchRunner:
                 results[position] = run_session(
                     configs[position], warmup=warmup
                 )
-        return results  # type: ignore[return-value]
+        return results, meters
 
 
 def run_batched_sessions(

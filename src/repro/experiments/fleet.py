@@ -176,6 +176,8 @@ def fleet_batch_tasks(
     background_load: float = 0.0,
     prb_budget: int = 50,
     jobs: Optional[int] = None,
+    meter: bool = False,
+    heartbeat_path: Optional[str] = None,
 ) -> List[CellBlockTask]:
     """The ``--batch`` task list: whole batched cell blocks.
 
@@ -183,6 +185,8 @@ def fleet_batch_tasks(
     :func:`fleet_tasks` and are chunked into at most ``jobs`` contiguous
     blocks; the partition affects wall clock only (cells are independent
     — the flattened results are byte-equal for any block split).
+    ``meter`` attaches live per-cell engine meters, ``heartbeat_path``
+    streams each block's tick progress into a run-ledger heartbeat file.
     """
     workers = resolve_jobs(jobs)
     tasks: List[CellBlockTask] = []
@@ -211,34 +215,12 @@ def fleet_batch_tasks(
                     background_ues=background_ues,
                     background_load=background_load,
                     prb_budget=prb_budget,
+                    meter=meter,
+                    heartbeat_path=heartbeat_path,
                 )
             )
             start = stop
     return tasks
-
-
-def _cell_meter(cell: CellResult) -> SessionMeter:
-    """Post-hoc ``fleet.*`` registry for one batched cell.
-
-    The lockstep engines never thread a meter through the hot loop
-    (metering hooks would cost every session every tick), so the
-    ``--batch`` path derives the cell-level fleet metrics from the
-    finished :class:`CellResult` — the same observations
-    :meth:`repro.telephony.fleet.CellSession.run` records live, minus
-    the per-member ``session.*``/``sim.*`` families that only the event
-    engine meters.
-    """
-    meter = SessionMeter()
-    meter.inc("fleet.cells")
-    meter.observe("fleet.cell_members", float(len(cell.results)))
-    meter.observe("fleet.cell_jain", cell.jain)
-    for result, mos in zip(cell.results, cell.member_mos):
-        if not math.isnan(mos):
-            meter.observe("fleet.member_mos", mos)
-        rate = result.summary.throughput.mean / 1e6
-        if not math.isnan(rate):
-            meter.observe("fleet.member_rate_mbps", rate)
-    return meter
 
 
 def _aggregate(ues: int, results: Sequence[CellResult]) -> FleetPoint:
@@ -266,6 +248,7 @@ def fleet_sweep(
     progress: Optional[ProgressCallback] = None,
     meter: bool = False,
     batch: bool = False,
+    heartbeat_path: Optional[str] = None,
     **kwargs,
 ) -> FleetSweepResult:
     """Run the capacity sweep; cells shard across the process pool.
@@ -279,10 +262,17 @@ def fleet_sweep(
     engine (:mod:`repro.sim.batch_cell`): whole cell blocks shard across
     the pool instead of single cells, the scenario is coerced onto the
     lockstep grid (:func:`lockstep_scenario`), the ``fleet.*`` registry
-    is derived post-hoc (:func:`_cell_meter`), and user-profile rotation
-    is unsupported (profiles are an event-engine feature).  Serial and
+    is metered **live** inside the engine's tick loop (per-cell meters
+    from :meth:`~repro.sim.batch_cell.BatchedCellSimulation.run_cells`,
+    including the batched-engine ``batch.*`` and
+    ``fleet.cell_prb_exhausted`` counters), and user-profile rotation is
+    unsupported (profiles are an event-engine feature).  Serial and
     sharded batch sweeps remain byte-equal; batch and event sweeps are
     statistically comparable, not bitwise (different engines).
+
+    ``heartbeat_path`` (batch path only) streams each block's
+    tick-by-tick cohort progress into a run-ledger heartbeat file while
+    the sweep runs.
     """
     calls = list(calls)
     if batch:
@@ -292,13 +282,16 @@ def fleet_sweep(
                 "profiles are not part of the lockstep uplink profile)"
             )
         tasks = fleet_batch_tasks(
-            scenario_name, calls, cells=cells, jobs=jobs, **kwargs
+            scenario_name,
+            calls,
+            cells=cells,
+            jobs=jobs,
+            meter=meter,
+            heartbeat_path=heartbeat_path,
+            **kwargs,
         )
         blocks = run_tasks(tasks, jobs=jobs, progress=progress)
         results = [cell for block in blocks for cell in block]
-        if meter:
-            for cell in results:
-                cell.meter = _cell_meter(cell)
     else:
         tasks = fleet_tasks(
             scenario_name, calls, cells=cells, meter=meter, **kwargs

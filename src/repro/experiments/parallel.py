@@ -194,6 +194,14 @@ class CellBlockTask:
     background_ues: int = 0
     background_load: float = 0.0
     prb_budget: int = 50
+    #: Attach live per-cell engine meters (``fleet.*`` + ``batch.*``
+    #: counters accumulated inside the tick loop; see
+    #: :meth:`repro.sim.batch_cell.BatchedCellSimulation.run_cells`).
+    meter: bool = False
+    #: Run-ledger heartbeat file: the block streams cohort-progress
+    #: records into it from inside the tick loop (worker-safe appends;
+    #: :func:`repro.obs.ledger.cohort_heartbeat_callback`).
+    heartbeat_path: Optional[str] = None
 
     def run(self) -> List:
         from repro.config import FleetConfig
@@ -221,8 +229,20 @@ class CellBlockTask:
                     seed=seed,
                 )
             )
+        progress = None
+        if self.heartbeat_path is not None:
+            from repro.obs.ledger import cohort_heartbeat_callback
+
+            progress = cohort_heartbeat_callback(
+                self.heartbeat_path, label=self.seeds[0] if self.seeds else 0
+            )
         return run_batched_cells(
-            cells, fleets=fleets, duration=self.duration, warmup=self.warmup
+            cells,
+            fleets=fleets,
+            duration=self.duration,
+            warmup=self.warmup,
+            meter=self.meter,
+            progress=progress,
         )
 
 

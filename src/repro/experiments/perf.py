@@ -19,6 +19,12 @@ perf trajectory of the simulator is tracked from PR to PR:
    - ``full_session``   — the 30 s single-session leg (absolute time,
      plus the ratio against the pre-optimisation seed baseline).
 
+A third, always-on leg guards the observability layer itself:
+``bench_ledger_overhead`` times a batched cohort plain vs with full run
+telemetry (engine meter + heartbeat stream + snapshot) and records
+``overhead_ratio``; ``tools/check_perf.py`` holds it above an absolute
+0.95 floor so the run ledger stays within 5% of free.
+
 Caches that could fake the numbers are bypassed while measuring — the
 session legs really simulate, and the kernel legs clear the mode-matrix
 cache before their cold start.  The *ratios* are the tracked signal,
@@ -367,6 +373,67 @@ def bench_batched_cells(
     }
 
 
+def bench_ledger_overhead(
+    duration: float = 5.0,
+    sessions: int = 16,
+    repeats: int = 2,
+    ledger=None,
+) -> dict:
+    """Ledger-on vs ledger-off batched session throughput.
+
+    Times the same lockstep cohort twice: plain, then with the full run
+    telemetry attached (engine meter, tick-loop heartbeat stream into a
+    scratch run directory, one OpenMetrics snapshot per timed run).  The
+    tracked ratio is ``overhead_ratio = plain_s / ledger_s`` — ledgered
+    throughput over plain throughput, so 1.0 is free telemetry and
+    ``tools/check_perf.py`` fails below its 0.95 absolute floor (the
+    ledger must cost under 5%).
+
+    ``ledger``, when given, is the *perf run's own*
+    :class:`repro.obs.ledger.RunLedger`: the timed leg's final meter is
+    folded into its live registry so a ledgered ``repro360 perf`` run
+    ends with a real registry artifact.
+    """
+    import gc
+    import tempfile
+
+    from repro.obs.ledger import RunLedger, cohort_heartbeat_callback
+    from repro.obs.meter import SessionMeter
+    from repro.sim.batch import run_batched
+
+    configs = [_lockstep_config(seed + 1, duration) for seed in range(sessions)]
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    last_meter = SessionMeter()
+    try:
+        plain_s = _best_of(repeats, run_batched, configs)
+        with tempfile.TemporaryDirectory() as scratch:
+            scratch_ledger = RunLedger.open("perf-ledger-leg", root=scratch)
+            heartbeat = cohort_heartbeat_callback(scratch_ledger.heartbeat_path)
+
+            def ledger_leg() -> None:
+                meter = SessionMeter()
+                run_batched(configs, meter=meter, progress=heartbeat)
+                scratch_ledger.snapshot(meter)
+                last_meter.merge(meter)
+
+            ledger_s = _best_of(repeats, ledger_leg)
+            scratch_ledger.finish("ok")
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    if ledger is not None:
+        ledger.live.merge(last_meter)
+    return {
+        "profile": "cellular uplink lockstep grid (25 fps), full telemetry",
+        "sessions": sessions,
+        "session_duration_s": duration,
+        "plain_s": round(plain_s, 4),
+        "ledger_s": round(ledger_s, 4),
+        "overhead_ratio": round(plain_s / ledger_s, 3) if ledger_s > 0 else None,
+    }
+
+
 def run_perf_bench(
     duration: float = 30.0,
     warmup: float = 10.0,
@@ -374,8 +441,15 @@ def run_perf_bench(
     output: Optional[str] = "BENCH_perf.json",
     batch: bool = False,
     fleet_batch: bool = False,
+    ledger=None,
 ) -> dict:
-    """Run every leg and (optionally) write the JSON record."""
+    """Run every leg and (optionally) write the JSON record.
+
+    ``ledger`` is an optional :class:`repro.obs.ledger.RunLedger` for
+    the bench invocation itself: each completed leg appends a
+    ``kind="leg"`` heartbeat record (done/total/ETA over the enabled
+    legs), and the ledger-overhead leg's meter seeds its registry.
+    """
     workers = resolve_jobs(jobs if jobs else 0)
     settings = ExperimentSettings(
         duration=duration, warmup=warmup, repetitions=1, num_users=2
@@ -385,14 +459,43 @@ def run_perf_bench(
     # record), not signal, so the parallel leg is skipped outright.
     cpu_count = os.cpu_count() or 1
     run_parallel_leg = cpu_count > 1 and workers > 1
+    legs = ["kernels", "single_session", "micro_grid_serial"]
+    if run_parallel_leg:
+        legs.append("micro_grid_parallel")
+    if batch:
+        legs.append("batch")
+    if fleet_batch:
+        legs.append("fleet_batch")
+    legs.append("ledger_overhead")
+
+    def leg_done(name: str) -> None:
+        if ledger is not None:
+            ledger.heartbeat(
+                "leg", done=legs.index(name) + 1, total=len(legs), leg=name
+            )
+
     result_cache.set_cache_enabled(False)
     try:
         kernels = run_kernel_benches()
+        leg_done("kernels")
         single = min(_time_single_session(duration, warmup) for _ in range(3))
+        leg_done("single_session")
         serial = _time_grid(settings, jobs=1)
-        parallel = _time_grid(settings, jobs=workers) if run_parallel_leg else None
-        batched = bench_batched_sessions() if batch else None
-        batched_cells = bench_batched_cells() if fleet_batch else None
+        leg_done("micro_grid_serial")
+        parallel = None
+        if run_parallel_leg:
+            parallel = _time_grid(settings, jobs=workers)
+            leg_done("micro_grid_parallel")
+        batched = None
+        if batch:
+            batched = bench_batched_sessions()
+            leg_done("batch")
+        batched_cells = None
+        if fleet_batch:
+            batched_cells = bench_batched_cells()
+            leg_done("fleet_batch")
+        ledger_overhead = bench_ledger_overhead(ledger=ledger)
+        leg_done("ledger_overhead")
     finally:
         result_cache.set_cache_enabled(None)
     record = {
@@ -415,6 +518,7 @@ def run_perf_bench(
         "kernels": kernels,
         "batch": batched,
         "fleet_batch": batched_cells,
+        "ledger": ledger_overhead,
         "seed_baseline": SEED_BASELINE,
         "single_session_vs_seed": round(
             SEED_BASELINE["single_session_s"] / single, 3

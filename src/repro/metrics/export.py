@@ -15,8 +15,8 @@ Three families live here:
   object per line with reserved keys ``t`` (simulated time) and
   ``event`` (catalogue name), every other key an event field;
 - the **metrics** exporters (``metrics_to_dict`` /
-  ``write_metrics_json`` / ``metrics_to_openmetrics`` /
-  ``write_metrics_openmetrics``) over a
+  ``write_metrics_json`` / ``meter_from_dict`` /
+  ``metrics_to_openmetrics`` / ``write_metrics_openmetrics``) over a
   :class:`repro.obs.SessionMeter` — JSON snapshots for tooling and the
   OpenMetrics/Prometheus text exposition format for scrapers, validated
   by ``tools/check_metrics.py``.  See docs/OBSERVABILITY.md.
@@ -253,6 +253,44 @@ def metrics_to_dict(meter) -> dict:
 def write_metrics_json(path: PathLike, meter) -> None:
     """Write a meter snapshot as an indented JSON file."""
     Path(path).write_text(json.dumps(metrics_to_dict(meter), indent=1) + "\n")
+
+
+def meter_from_dict(payload: dict):
+    """Rebuild a :class:`repro.obs.SessionMeter` from a snapshot dict.
+
+    Inverse of :func:`metrics_to_dict`, used to reload a run ledger's
+    final ``registry.json`` artifact (``repro360 metrics --from-run``).
+    Counter/gauge/histogram state round-trips exactly; span statistics
+    round-trip their accumulators (count, total, min, max).
+    """
+    from repro.obs.meter import SessionMeter
+    from repro.obs.metrics import Histogram
+    from repro.obs.spans import SpanStats
+
+    version = payload.get("version")
+    if version != EXPORT_VERSION:
+        raise ValueError(f"unsupported export version: {version!r}")
+    meter = SessionMeter()
+    meter.metrics.counters.update(
+        {name: float(value) for name, value in payload.get("counters", {}).items()}
+    )
+    meter.metrics.gauges.update(
+        {name: float(value) for name, value in payload.get("gauges", {}).items()}
+    )
+    for name, data in payload.get("histograms", {}).items():
+        hist = Histogram(tuple(data["buckets"]))
+        hist.counts = [int(count) for count in data["counts"]]
+        hist.sum = float(data["sum"])
+        hist.count = int(data["count"])
+        meter.metrics._hists[name] = hist
+    for name, data in payload.get("spans", {}).items():
+        stats = SpanStats()
+        stats.count = int(data["count"])
+        stats.total_s = float(data["total_s"])
+        stats.min_s = float(data["min_s"]) if stats.count else float("inf")
+        stats.max_s = float(data["max_s"])
+        meter.spans.stats[name] = stats
+    return meter
 
 
 def openmetrics_family(name: str, unit: str = "") -> str:

@@ -9,6 +9,11 @@ falsy null objects, single-truthiness-check hot paths):
 * **spans** — :class:`SpanProfiler` + ``SPAN_CATALOGUE`` (wall-clock
   stage timings), bundled per session by :class:`SessionMeter`.
 
+A fourth layer builds on them per *run* instead of per session:
+**ledgers** — :class:`RunLedger` (``repro.obs.ledger``) gives a sweep a
+run directory with a manifest, a heartbeat JSONL stream and periodic
+OpenMetrics snapshots of the live fleet registry.
+
 See ``docs/OBSERVABILITY.md`` for the event/metric/span reference and
 worked examples, and ``docs/ARCHITECTURE.md`` for where each subsystem
 emits.
@@ -16,6 +21,20 @@ emits.
 
 from repro.obs.bus import DEFAULT_CAPACITY, NULL_BUS, NullTraceBus, TraceBus, TraceEvent
 from repro.obs.events import EVENT_CATALOGUE, EVENT_NAMES, EventSpec, subsystem_of
+from repro.obs.ledger import (
+    DEFAULT_RUN_ROOT,
+    HEARTBEAT_KINDS,
+    LEDGER_VERSION,
+    RUN_DIR_ENV,
+    RunLedger,
+    cohort_heartbeat_callback,
+    latest_snapshot,
+    load_registry,
+    read_heartbeats,
+    read_manifest,
+    resolve_run_root,
+    snapshot_paths,
+)
 from repro.obs.meter import NULL_METER, NullMeter, SessionMeter, coerce_meter
 from repro.obs.metrics import (
     METRIC_CATALOGUE,
@@ -68,4 +87,16 @@ __all__ = [
     "NullMeter",
     "SessionMeter",
     "coerce_meter",
+    "DEFAULT_RUN_ROOT",
+    "HEARTBEAT_KINDS",
+    "LEDGER_VERSION",
+    "RUN_DIR_ENV",
+    "RunLedger",
+    "cohort_heartbeat_callback",
+    "latest_snapshot",
+    "load_registry",
+    "read_heartbeats",
+    "read_manifest",
+    "resolve_run_root",
+    "snapshot_paths",
 ]

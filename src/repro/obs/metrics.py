@@ -251,6 +251,35 @@ _SPECS = (
         "Distribution of per-caller mean received throughput.",
         buckets=(0.25, 0.5, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 8.0),
     ),
+    MetricSpec(
+        "fleet.cell_prb_exhausted", "counter", "fleet", "",
+        "repro.sim.batch_cell.BatchedCellSimulation._subframe",
+        "Subframes a batched cell ended with its PRB budget exhausted "
+        "(fewer than one grantable PRB left).",
+    ),
+    # --------------------------------------------------------------- batch
+    MetricSpec(
+        "batch.cohorts", "counter", "batch", "",
+        "repro.sim.batch.BatchedSimulation.run",
+        "Lockstep cohorts advanced to completion by the batched engines.",
+    ),
+    MetricSpec(
+        "batch.sessions", "counter", "batch", "",
+        "repro.sim.batch.BatchedSimulation.run",
+        "Sessions advanced by the batched lockstep engines.",
+    ),
+    MetricSpec(
+        "batch.subframes", "counter", "batch", "",
+        "repro.sim.batch.BatchedSimulation.run",
+        "Session-subframes ticked by the batched engines "
+        "(sessions x 1 ms grid ticks).",
+    ),
+    MetricSpec(
+        "batch.scalar_fallbacks", "counter", "batch", "",
+        "repro.experiments.batch.BatchRunner.run",
+        "Sessions routed to the scalar engine below the batching "
+        "crossover (or by on_unsupported='scalar').",
+    ),
 )
 
 #: Name → spec for every metric the stack can record.

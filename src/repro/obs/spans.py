@@ -78,6 +78,18 @@ _SPECS = (
         "repro.telephony.fleet.CellSession.run",
         "One whole shared-cell run: every member session, one clock.",
     ),
+    SpanSpec(
+        "batch.run",
+        "batch",
+        "repro.sim.batch.BatchedSimulation.run",
+        "One batched lockstep cohort: every session, one 1 ms grid.",
+    ),
+    SpanSpec(
+        "batch.cell_run",
+        "batch",
+        "repro.sim.batch_cell.BatchedCellSimulation.run_cells",
+        "One batched cell block: C cells x N members, one 1 ms grid.",
+    ),
 )
 
 #: Name → spec for every span the stack can time.

@@ -46,6 +46,7 @@ import numpy as np
 from repro.config import SessionConfig
 from repro.lte.ue import UeUplinkArray
 from repro.metrics.summary import SessionLog, SessionSummary
+from repro.obs.meter import coerce_meter
 from repro.rate_control.fbcc.batch import (
     DetectorArray,
     EncodingHoldArray,
@@ -71,6 +72,12 @@ from repro.units import BITS_PER_BYTE
 def _session_streams(config: SessionConfig):
     registry = RngRegistry(config.seed)
     return lambda name: registry.stream("batch." + name)
+
+
+#: Grid ticks between ``progress`` callbacks (5000 ticks = 5 s of
+#: simulated time) — frequent enough for live heartbeats, rare enough
+#: to stay invisible next to the tick body.
+DEFAULT_PROGRESS_TICKS = 5000
 
 
 class BatchedSimulation:
@@ -375,10 +382,32 @@ class BatchedSimulation:
 
     # -- public API ------------------------------------------------------
 
+    #: Span name the run records (the cell-coupled engine overrides it).
+    _RUN_SPAN = "batch.run"
+
+    #: True while a metered run's tick loop is live — subclass tick
+    #: hooks may accumulate telemetry observations behind this flag.
+    _metering = False
+
     def run(
-        self, duration: Optional[float] = None, warmup: float = 0.0
+        self,
+        duration: Optional[float] = None,
+        warmup: float = 0.0,
+        meter=None,
+        progress=None,
+        progress_every: int = DEFAULT_PROGRESS_TICKS,
     ) -> List[SessionResult]:
-        """Run the cohort and return one :class:`SessionResult` each."""
+        """Run the cohort and return one :class:`SessionResult` each.
+
+        ``meter`` (same coercion as ``run_session``) receives the
+        cohort-level batch counters and the :data:`_RUN_SPAN` wall-clock
+        span.  ``progress`` is an optional live callback invoked as
+        ``progress(tick, total_ticks, n_sessions)`` every
+        ``progress_every`` grid ticks plus once at the final tick (see
+        :func:`repro.obs.ledger.cohort_heartbeat_callback`).  Both only
+        *read* engine state, so a metered/observed run stays
+        byte-identical to a plain one.
+        """
         if duration is None:
             durations = {c.duration for c in self.configs}
             if len(durations) != 1:
@@ -386,10 +415,22 @@ class BatchedSimulation:
             duration = durations.pop()
         if not _ms_aligned(duration) or not _ms_aligned(warmup):
             raise ValueError("duration and warmup must be on the 1 ms grid")
+        meter = coerce_meter(meter)
+        self._metering = bool(meter)
+        t0 = meter.span_start() if meter else 0.0
         warm_ticks = _ticks(warmup)
         total_ticks = warm_ticks + _ticks(duration)
-        for k in range(1, total_ticks + 1):
-            self._tick(k, warm_ticks)
+        if progress is not None:
+            stride = max(1, int(progress_every))
+            for k in range(1, total_ticks + 1):
+                self._tick(k, warm_ticks)
+                if k % stride == 0 or k == total_ticks:
+                    progress(k, total_ticks, self.n)
+        else:
+            for k in range(1, total_ticks + 1):
+                self._tick(k, warm_ticks)
+        if meter:
+            self._record_meter(meter, total_ticks, t0)
         fw_drops = self._ue.buffer.dropped_packets - self._baseline_fw_drops
         pacer_drops = self._pacer.dropped_frames - self._baseline_pacer_drops
         congestion = self._encoding.congestion_events
@@ -412,11 +453,28 @@ class BatchedSimulation:
             results.append(SessionResult(config=config, summary=summary, log=log))
         return results
 
+    def _record_meter(self, meter, total_ticks: int, t0: float) -> None:
+        """Fold this run's cohort-level telemetry into ``meter``.
+
+        Every value is a pure function of the cohort (sessions, grid
+        ticks), so the counters are identical however a sweep is sliced
+        into cohorts of equal total size; the span records wall clock
+        and, like every span, never enters deterministic snapshots.
+        """
+        meter.inc("batch.cohorts")
+        meter.inc("batch.sessions", float(self.n))
+        meter.inc("batch.subframes", float(self.n * total_ticks))
+        meter.span_end(self._RUN_SPAN, t0)
+
 
 def run_batched(
     configs: Sequence[SessionConfig],
     duration: Optional[float] = None,
     warmup: float = 0.0,
+    meter=None,
+    progress=None,
 ) -> List[SessionResult]:
     """Build and run one lockstep cohort."""
-    return BatchedSimulation(configs).run(duration, warmup=warmup)
+    return BatchedSimulation(configs).run(
+        duration, warmup=warmup, meter=meter, progress=progress
+    )

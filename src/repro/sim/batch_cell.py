@@ -27,11 +27,15 @@ convergence test asserts Jain/MOS agreement, not bitwise equality.
 
 from __future__ import annotations
 
+import math
 from typing import List, Optional, Sequence
+
+import numpy as np
 
 from repro.config import FleetConfig, SessionConfig
 from repro.lte.shared_cell import SharedCellArray
 from repro.metrics.stats import jain_index
+from repro.obs.meter import SessionMeter
 from repro.sim.batch import BatchedSimulation
 from repro.telephony.fleet import CellResult, member_configs
 from repro.telephony.uplink import UplinkProfile, cell_batch_unsupported_reason
@@ -106,16 +110,50 @@ class BatchedCellSimulation(BatchedSimulation):
         self._cells = SharedCellArray(
             fleet_list, self.members_per_cell, self._ue.cell
         )
+        #: Per-cell count of subframes that ended with the PRB budget
+        #: exhausted — telemetry only, accumulated behind the metering
+        #: flag and never read by the simulation.
+        self._prb_exhausted = np.zeros(len(self.cells), dtype=np.int64)
+
+    #: The cohort span is the whole cell block here.
+    _RUN_SPAN = "batch.cell_run"
 
     def _subframe(self, k: int, now: float):
         loads = self._cells.member_loads(k, now)
-        return self._ue.subframe(now, loads=loads, cells=self._cells)
+        result = self._ue.subframe(now, loads=loads, cells=self._cells)
+        if self._metering:
+            self._prb_exhausted += self._cells.budget_left < 1.0
+        return result
+
+    def _record_meter(self, meter, total_ticks: int, t0: float) -> None:
+        # The block-level counters live on the per-cell meters instead
+        # (run_cells) so merged fleet registries stay partition-
+        # invariant however cells are sharded into blocks; the engine
+        # meter carries only the block's wall-clock span.
+        self._total_ticks = total_ticks
+        meter.span_end(self._RUN_SPAN, t0)
 
     def run_cells(
-        self, duration: Optional[float] = None, warmup: float = 0.0
+        self,
+        duration: Optional[float] = None,
+        warmup: float = 0.0,
+        meter: bool = False,
+        progress=None,
     ) -> List[CellResult]:
-        """Run the block; one :class:`CellResult` per cell, in order."""
-        results = self.run(duration, warmup=warmup)
+        """Run the block; one :class:`CellResult` per cell, in order.
+
+        With ``meter=True`` every cell gets a **live** engine meter: the
+        ``fleet.*`` cell observations plus the batched-engine counters
+        (``batch.sessions``, ``batch.subframes``,
+        ``fleet.cell_prb_exhausted``) accumulated during the tick loop —
+        all pure functions of the cell, so merged registries are
+        byte-equal for any block partition.  The block's
+        ``batch.cell_run`` wall-clock span rides the first cell's meter
+        (spans never enter deterministic snapshots).  ``progress``
+        passes through to :meth:`~repro.sim.batch.BatchedSimulation.run`.
+        """
+        engine = SessionMeter() if meter else None
+        results = self.run(duration, warmup=warmup, meter=engine, progress=progress)
         bytes_sent = self._ue.bytes_sent - self._baseline_bytes
         n = self.members_per_cell
         cell_results = []
@@ -134,10 +172,37 @@ class BatchedCellSimulation(BatchedSimulation):
                     jain=jain_index(member_bytes),
                     member_bytes=member_bytes,
                     member_mos=member_mos,
-                    meter=None,
+                    meter=self._one_cell_meter(index, cell_results=members)
+                    if meter
+                    else None,
                 )
             )
+        if meter and cell_results:
+            cell_results[0].meter.merge(engine)
         return cell_results
+
+    def _one_cell_meter(self, index: int, cell_results) -> SessionMeter:
+        """The live per-cell registry (see :meth:`run_cells`)."""
+        n = self.members_per_cell
+        bytes_sent = self._ue.bytes_sent - self._baseline_bytes
+        member_bytes = [
+            float(value) for value in bytes_sent[index * n : (index + 1) * n]
+        ]
+        meter = SessionMeter()
+        meter.inc("fleet.cells")
+        meter.observe("fleet.cell_members", float(n))
+        meter.observe("fleet.cell_jain", jain_index(member_bytes))
+        for result in cell_results:
+            mos = mos_score(result.summary.quality.mos_pdf)
+            if not math.isnan(mos):
+                meter.observe("fleet.member_mos", mos)
+            rate = result.summary.throughput.mean / 1e6
+            if not math.isnan(rate):
+                meter.observe("fleet.member_rate_mbps", rate)
+        meter.inc("batch.sessions", float(n))
+        meter.inc("batch.subframes", float(n * self._total_ticks))
+        meter.inc("fleet.cell_prb_exhausted", float(self._prb_exhausted[index]))
+        return meter
 
 
 def run_batched_cells(
@@ -145,10 +210,12 @@ def run_batched_cells(
     fleets=None,
     duration: Optional[float] = None,
     warmup: float = 0.0,
+    meter: bool = False,
+    progress=None,
 ) -> List[CellResult]:
     """Build and run one batched cell block."""
     return BatchedCellSimulation(cells, fleets=fleets).run_cells(
-        duration, warmup=warmup
+        duration, warmup=warmup, meter=meter, progress=progress
     )
 
 

@@ -171,6 +171,69 @@ def test_batch_runner_matches_direct_cohort_results():
         )
 
 
+def test_metered_progress_run_is_bit_identical_to_plain():
+    """Telemetry only *reads* engine state: a metered run with a live
+    progress callback reproduces the plain run bit for bit, and the
+    engine counters are pure functions of the cohort shape."""
+    from repro.obs.meter import SessionMeter
+
+    configs = [lockstep_config(seed=s, duration=3.0) for s in (1, 2, 3)]
+    plain = run_batched(configs, warmup=0.5)
+    meter = SessionMeter()
+    ticks = []
+    observed = run_batched(
+        configs,
+        warmup=0.5,
+        meter=meter,
+        progress=lambda k, total, n: ticks.append((k, total, n)),
+    )
+    for reference, result in zip(plain, observed):
+        assert_bit_identical(reference, result)
+
+    counters = meter.metrics.counters
+    total_ticks = ticks[-1][1]
+    assert counters["batch.cohorts"] == 1.0
+    assert counters["batch.sessions"] == 3.0
+    assert counters["batch.subframes"] == 3.0 * total_ticks
+    assert "batch.run" in meter.spans.as_dict()
+
+    # progress: ticks nondecreasing, constant total/sessions, ends at total.
+    assert ticks[-1][0] == total_ticks
+    assert all(n == 3 for _, _, n in ticks)
+    assert all(t == total_ticks for _, t, _ in ticks)
+    assert all(a[0] < b[0] for a, b in zip(ticks, ticks[1:]))
+
+
+def test_cohort_counters_are_slicing_invariant():
+    """However a sweep is sliced into cohorts, the summed batch.sessions
+    and batch.subframes are identical (batch.cohorts is the slicing)."""
+    configs = [lockstep_config(seed=s, duration=3.0) for s in range(1, 5)]
+
+    def totals(max_cohort):
+        runner = BatchRunner(max_cohort=max_cohort, scalar_crossover=0, jobs=1)
+        _, meter = runner.run_metered(configs, warmup=0.5)
+        return meter.metrics.counters
+
+    whole = totals(max_cohort=8)
+    sliced = totals(max_cohort=2)
+    assert whole["batch.sessions"] == sliced["batch.sessions"] == 4.0
+    assert whole["batch.subframes"] == sliced["batch.subframes"]
+    assert whole["batch.cohorts"] == 1.0
+    assert sliced["batch.cohorts"] == 2.0
+
+
+def test_scalar_crossover_routes_small_cohorts_to_scalar_engine():
+    configs = [lockstep_config(seed=s, duration=3.0) for s in (1, 2)]
+    results, meter = BatchRunner(scalar_crossover=8, jobs=1).run_metered(
+        configs, warmup=0.5
+    )
+    assert meter.metrics.counters["batch.scalar_fallbacks"] == 2.0
+    assert "batch.cohorts" not in meter.metrics.counters
+    reference = run_batched(configs, warmup=0.5)
+    for a, b in zip(reference, results):
+        assert_bit_identical(a, b)
+
+
 def test_batch_runner_raises_on_unsupported_by_default():
     bad = replace(
         lockstep_config(), video=replace(lockstep_config().video, fps=30.0)

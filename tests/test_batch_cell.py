@@ -149,6 +149,65 @@ def test_claim_rows_matches_sequential_claims_under_exhaustion():
     )
 
 
+def test_metered_cell_run_is_bit_identical_to_plain():
+    """Cell metering + progress only observe: results match the plain
+    run bit for bit, per-cell counters are per-cell pure functions, and
+    the block span rides the first cell's meter only."""
+    base = lockstep_config(seed=3, duration=3.0)
+    cells = [member_configs(replace(base, seed=s), 2) for s in (3, 2003)]
+    fleets = [FleetConfig(ues=2, seed=s, prb_budget=40) for s in (3, 2003)]
+    plain = run_batched_cells(cells, fleets=fleets, warmup=0.5)
+    ticks = []
+    metered = run_batched_cells(
+        cells,
+        fleets=fleets,
+        warmup=0.5,
+        meter=True,
+        progress=lambda k, total, n: ticks.append((k, total, n)),
+    )
+    for reference, cell in zip(plain, metered):
+        assert_cells_bit_identical(reference, cell)
+
+    assert ticks and ticks[-1][0] == ticks[-1][1]
+    assert all(n == 4 for _, _, n in ticks)  # 2 cells x 2 members
+    total_ticks = ticks[-1][1]
+    for index, cell in enumerate(metered):
+        counters = cell.meter.metrics.counters
+        assert counters["fleet.cells"] == 1.0
+        assert counters["batch.sessions"] == 2.0
+        assert counters["batch.subframes"] == 2.0 * total_ticks
+        assert counters["fleet.cell_prb_exhausted"] >= 0.0
+        spans = cell.meter.spans.as_dict()
+        if index == 0:
+            assert "batch.cell_run" in spans
+        else:
+            assert "batch.cell_run" not in spans
+    # Plain results carry no meters at all.
+    assert all(cell.meter is None for cell in plain)
+
+
+def test_cell_counters_are_partition_invariant():
+    """Per-cell counters don't depend on how cells are blocked together:
+    running both cells in one block equals two single-cell blocks."""
+    base = lockstep_config(seed=7, duration=3.0)
+    cells = [member_configs(replace(base, seed=s), 2) for s in (7, 1007)]
+    fleets = [FleetConfig(ues=2, seed=s, prb_budget=40) for s in (7, 1007)]
+    block = run_batched_cells(cells, fleets=fleets, warmup=0.5, meter=True)
+    for members, fleet, blocked in zip(cells, fleets, block):
+        solo = run_batched_cells(
+            [members], fleets=[fleet], warmup=0.5, meter=True
+        )[0]
+        for name in (
+            "batch.sessions",
+            "batch.subframes",
+            "fleet.cell_prb_exhausted",
+        ):
+            assert (
+                solo.meter.metrics.counters[name]
+                == blocked.meter.metrics.counters[name]
+            ), name
+
+
 def test_batched_fleet_converges_with_event_fleet():
     """Fairness converges like the event-driven shared cell: N identical
     callers reach Jain >= 0.95 over grant bytes in both engines (the

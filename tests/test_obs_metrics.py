@@ -237,8 +237,13 @@ def test_metered_session_counts_match_log(metered_result):
 
 def test_metered_session_records_every_span(metered_result):
     recorded = set(metered_result.meter.spans.stats)
-    # fleet.cell_run only fires in shared-cell runs (tests/test_fleet.py).
-    solo_spans = {name for name in SPAN_NAMES if not name.startswith("fleet.")}
+    # fleet.* spans only fire in shared-cell runs (tests/test_fleet.py);
+    # batch.* spans only in batched-engine runs (tests/test_batch*.py).
+    solo_spans = {
+        name
+        for name in SPAN_NAMES
+        if not name.startswith(("fleet.", "batch."))
+    }
     assert recorded == solo_spans
     assert metered_result.meter.spans.stats["session.run"].count == 1
 

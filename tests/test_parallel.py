@@ -134,3 +134,55 @@ def test_run_tasks_serial_fallback_matches_pool_results(monkeypatch):
     monkeypatch.setattr(parallel.os, "cpu_count", lambda: 1)
     serial = run_tasks(tasks, jobs=2)
     assert [_digest(r) for r in serial] == [_digest(r) for r in pooled]
+
+
+class _ReversedCompletionPool:
+    """``ProcessPoolExecutor`` stand-in with worst-case completion order.
+
+    ``map`` *computes* the results back-to-front (as if the last task
+    finished first) but yields them in submission order — the contract
+    real pools provide and the progress callback depends on.
+    """
+
+    def __init__(self, max_workers=None):
+        self.max_workers = max_workers
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+    def map(self, fn, items, chunksize=1):
+        items = list(items)
+        out = [None] * len(items)
+        for index in reversed(range(len(items))):
+            out[index] = fn(items[index])
+        return iter(out)
+
+
+def test_progress_fires_in_task_order_under_out_of_order_completion(monkeypatch):
+    """Even when workers complete out of order, ``progress`` sees
+    ``done`` = 1..N in task order with the matching task's result."""
+    monkeypatch.setattr(parallel.os, "cpu_count", lambda: 4)
+    monkeypatch.setattr(parallel, "ProcessPoolExecutor", _ReversedCompletionPool)
+    tasks = [_tiny_task(seed) for seed in (3, 5, 7, 9)]
+    calls = []
+    results = run_tasks(
+        tasks, jobs=2, progress=lambda d, t, r: calls.append((d, t, _digest(r)))
+    )
+    assert [d for d, _, _ in calls] == [1, 2, 3, 4]
+    assert all(t == 4 for _, t, _ in calls)
+    assert [dig for _, _, dig in calls] == [_digest(r) for r in results]
+    baseline = [run_tasks([task])[0] for task in tasks]
+    assert [_digest(r) for r in results] == [_digest(r) for r in baseline]
+
+
+def test_progress_fires_in_task_order_on_serial_path():
+    tasks = [_tiny_task(seed) for seed in (3, 5)]
+    calls = []
+    results = run_tasks(
+        tasks, jobs=1, progress=lambda d, t, r: calls.append((d, t, _digest(r)))
+    )
+    assert [(d, t) for d, t, _ in calls] == [(1, 2), (2, 2)]
+    assert [dig for _, _, dig in calls] == [_digest(r) for r in results]

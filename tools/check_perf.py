@@ -46,6 +46,10 @@ RATIO_CLAMP = 8.0
 RATIO_CLAMPS = {
     "batch.batched_speedup": 12.0,
     "fleet_batch.batched_speedup": 12.0,
+    # The ledger-overhead ratio hovers around 1.0 by design; clamping
+    # there keeps "telemetry got (noisily) faster than plain" runs from
+    # inflating the baseline — the absolute floor below is the gate.
+    "ledger.overhead_ratio": 1.0,
 }
 
 #: Absolute floors that gate regardless of the baseline or tolerance.
@@ -55,6 +59,9 @@ RATIO_CLAMPS = {
 #: below the floor fails even if the committed baseline also slipped.
 RATIO_FLOORS = {
     "fleet_batch.batched_speedup": 5.0,
+    # Run-ledger acceptance criterion: ledger-on session throughput
+    # within 5% of ledger-off (overhead_ratio = plain_s / ledger_s).
+    "ledger.overhead_ratio": 0.95,
 }
 
 #: Default allowed fractional regression before the gate fails.
@@ -84,6 +91,9 @@ def tracked_ratios(record: dict) -> dict:
         ratios["fleet_batch.batched_speedup"] = float(
             fleet_batch["batched_speedup"]
         )
+    ledger = record.get("ledger")
+    if ledger and ledger.get("overhead_ratio") is not None:
+        ratios["ledger.overhead_ratio"] = float(ledger["overhead_ratio"])
     return ratios
 
 

@@ -1,0 +1,212 @@
+#!/usr/bin/env python3
+"""Validate one or more run-ledger directories (docs/OBSERVABILITY.md).
+
+CI's ``telemetry-smoke`` leg runs tiny ledgered sweeps (``repro360
+metrics --run-dir``, ``repro360 fleet --batch --run-dir``) and points
+this script at the resulting run directories; the build fails when a
+run's artifacts are missing, malformed, or violate the heartbeat
+contract.
+
+Checks per run directory:
+
+- ``manifest.json`` parses, carries the ledger schema version and the
+  required identity/provenance keys, and reports a terminal status;
+- ``heartbeat.jsonl`` parses line-by-line, every record carries the
+  schema version and a known ``kind``, parent-side streams
+  (session/cell/leg) keep ``done`` non-decreasing and carry an
+  ``eta_s`` field once ``done``/``total`` are present, and worker-side
+  ``cohort`` streams keep ``tick`` non-decreasing per ``(pid, cohort)``;
+- at least one OpenMetrics snapshot exists and every snapshot passes
+  the full ``tools/check_metrics.py`` parser/catalogue gate;
+- ``registry.json`` parses and carries the export schema version.
+
+Usage::
+
+    PYTHONPATH=src python tools/check_run_ledger.py RUN_DIR [RUN_DIR...]
+
+A run *root* (a directory of run directories) is also accepted — every
+child holding a ``manifest.json`` is checked.  Exits 0 when every run
+is clean, 1 otherwise (listing every problem).
+"""
+
+import json
+import sys
+from pathlib import Path
+
+# Allow running from the repo root without PYTHONPATH.
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from check_metrics import check as check_openmetrics  # noqa: E402
+
+from repro.obs.ledger import (  # noqa: E402
+    HEARTBEAT_KINDS,
+    LEDGER_VERSION,
+    MANIFEST_NAME,
+    read_heartbeats,
+    read_manifest,
+    snapshot_paths,
+)
+
+#: Keys the initial manifest write always records.
+MANIFEST_KEYS = (
+    "version",
+    "run_id",
+    "command",
+    "status",
+    "started_wall",
+    "started_iso",
+    "environment",
+    "artifacts",
+)
+
+#: Parent-side heartbeat kinds whose ``done`` must be non-decreasing.
+PARENT_KINDS = ("session", "cell", "leg")
+
+
+def check_manifest(run_dir: Path, problems: list) -> dict:
+    try:
+        manifest = read_manifest(run_dir)
+    except (OSError, json.JSONDecodeError) as error:
+        problems.append(f"{run_dir}: cannot load manifest: {error}")
+        return {}
+    for key in MANIFEST_KEYS:
+        if key not in manifest:
+            problems.append(f"{run_dir}: manifest missing key {key!r}")
+    if manifest.get("version") != LEDGER_VERSION:
+        problems.append(
+            f"{run_dir}: manifest version {manifest.get('version')!r} "
+            f"!= ledger schema {LEDGER_VERSION}"
+        )
+    status = manifest.get("status")
+    if status == "running":
+        problems.append(
+            f"{run_dir}: manifest status still 'running' (run not sealed)"
+        )
+    elif status not in ("ok", "error"):
+        problems.append(f"{run_dir}: unknown manifest status {status!r}")
+    return manifest
+
+
+def check_heartbeats(run_dir: Path, problems: list) -> int:
+    records = read_heartbeats(run_dir)
+    if not records:
+        problems.append(f"{run_dir}: heartbeat.jsonl has no records")
+        return 0
+    last_done = {}  # kind -> last done (parent streams)
+    last_tick = {}  # (pid, cohort) -> last tick (worker streams)
+    for number, record in enumerate(records, start=1):
+        where = f"{run_dir}: heartbeat record {number}"
+        if record.get("v") != LEDGER_VERSION:
+            problems.append(f"{where}: version {record.get('v')!r}")
+        kind = record.get("kind")
+        if kind not in HEARTBEAT_KINDS:
+            problems.append(f"{where}: unknown kind {kind!r}")
+            continue
+        if kind in PARENT_KINDS:
+            done = record.get("done")
+            if done is None:
+                continue  # plain marker record (no progress payload)
+            if "eta_s" not in record:
+                problems.append(f"{where}: progress record without eta_s")
+            total = record.get("total")
+            if total is not None and done > total:
+                problems.append(f"{where}: done {done} > total {total}")
+            if done < last_done.get(kind, 0):
+                problems.append(
+                    f"{where}: {kind} done decreased "
+                    f"({last_done[kind]} -> {done})"
+                )
+            last_done[kind] = done
+        else:  # cohort
+            stream = (record.get("pid"), record.get("cohort"))
+            tick = record.get("tick")
+            if tick is None or record.get("ticks") is None:
+                problems.append(f"{where}: cohort record without tick/ticks")
+                continue
+            if "eta_s" not in record:
+                problems.append(f"{where}: cohort record without eta_s")
+            if tick < last_tick.get(stream, 0):
+                problems.append(
+                    f"{where}: cohort {stream} tick decreased "
+                    f"({last_tick[stream]} -> {tick})"
+                )
+            last_tick[stream] = tick
+    return len(records)
+
+
+def check_snapshots(run_dir: Path, problems: list) -> int:
+    paths = snapshot_paths(run_dir)
+    if not paths:
+        problems.append(f"{run_dir}: no OpenMetrics snapshots")
+        return 0
+    for path in paths:
+        for problem in check_openmetrics(path.read_text()):
+            problems.append(f"{run_dir}: {path.name}: {problem}")
+    return len(paths)
+
+
+def check_registry(run_dir: Path, problems: list) -> None:
+    path = run_dir / "registry.json"
+    if not path.exists():
+        problems.append(f"{run_dir}: no registry.json (final registry artifact)")
+        return
+    try:
+        payload = json.loads(path.read_text())
+    except json.JSONDecodeError as error:
+        problems.append(f"{run_dir}: registry.json does not parse: {error}")
+        return
+    from repro.metrics.export import EXPORT_VERSION
+
+    if payload.get("version") != EXPORT_VERSION:
+        problems.append(
+            f"{run_dir}: registry version {payload.get('version')!r} "
+            f"!= export schema {EXPORT_VERSION}"
+        )
+
+
+def check_run(run_dir: Path, problems: list) -> str:
+    manifest = check_manifest(run_dir, problems)
+    beats = check_heartbeats(run_dir, problems)
+    snaps = check_snapshots(run_dir, problems)
+    check_registry(run_dir, problems)
+    return (
+        f"{run_dir}: status={manifest.get('status')} "
+        f"heartbeats={beats} snapshots={snaps}"
+    )
+
+
+def expand(paths):
+    """Resolve run directories; a run *root* expands to its children."""
+    runs = []
+    for raw in paths:
+        path = Path(raw)
+        if (path / MANIFEST_NAME).exists():
+            runs.append(path)
+            continue
+        children = sorted(
+            child for child in path.glob("*") if (child / MANIFEST_NAME).exists()
+        )
+        if children:
+            runs.extend(children)
+        else:
+            runs.append(path)  # let check_manifest report the failure
+    return runs
+
+
+def main(argv=None):
+    argv = sys.argv[1:] if argv is None else argv
+    if not argv:
+        print(__doc__.strip().splitlines()[0])
+        print("usage: check_run_ledger.py RUN_DIR [RUN_DIR...]")
+        return 2
+    problems = []
+    for run_dir in expand(argv):
+        print(check_run(run_dir, problems))
+    for problem in problems:
+        print(problem)
+    print(f"{len(problems)} problem(s)")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
