@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Service mode end to end: boot a server, submit jobs, watch, scrape.
+
+POI360's drive tests ran for hours with live instrumentation; service
+mode (docs/OBSERVABILITY.md, "Service mode") gives the repro the same
+shape — a long-running simulation server that accepts JSON job specs
+over HTTP and streams progress while they run.  This example drives the
+whole loop **in process** (no subprocess, no free port needed before it
+runs):
+
+1. start a :class:`repro.service.ServiceServer` on an ephemeral port;
+2. submit a short fleet sweep and a perf-style metrics job;
+3. stream heartbeat events while the jobs run;
+4. print the capacity table from the fleet job's result payload
+   (identical, byte for byte, to ``repro360 fleet --json``);
+5. resubmit the fleet spec and show the instant ``cache_hit`` replay;
+6. scrape ``/metrics`` and print the ``service.*`` series.
+
+Usage::
+
+    python examples/service_client.py [duration_s]
+"""
+
+import sys
+import time
+
+from repro.service import JobRegistry, ServiceClient, ServiceServer
+
+
+def main() -> int:
+    duration = float(sys.argv[1]) if len(sys.argv) > 1 else 2.0
+    registry = JobRegistry(".repro_runs", workers=2)
+    server = ServiceServer(registry, port=0).start()
+    client = ServiceClient(server.url)
+    print(f"server listening on {server.url}")
+    print(f"health: {client.healthz()}")
+
+    fleet_spec = {
+        "kind": "fleet",
+        "calls": [1, 2],
+        "duration": duration,
+        "warmup": 0.5,
+        "batch": True,
+    }
+    metrics_spec = {
+        "kind": "metrics",
+        "sessions": 2,
+        "duration": duration,
+        "warmup": 0.5,
+        "batch": True,
+    }
+    fleet_job = client.submit(fleet_spec)
+    metrics_job = client.submit(metrics_spec)
+    print(f"submitted {fleet_job['id']} (fleet) and {metrics_job['id']} (metrics)")
+
+    # Stream heartbeats while the fleet job runs (what `repro360 watch
+    # <job-id> --url ...` renders).
+    seen = 0
+    while True:
+        record = client.job(fleet_job["id"])
+        for event in client.events(fleet_job["id"], since=seen):
+            seen += 1
+            if event.get("done") is not None:
+                print(
+                    f"  [{event['kind']}] {event['done']}/{event['total']} "
+                    f"eta={event.get('eta_s')}"
+                )
+        if record["state"] in ("done", "failed", "cancelled"):
+            break
+        time.sleep(0.2)
+    print(f"{fleet_job['id']} -> {record['state']} in {record['run_dir']}")
+
+    # The result payload is the exact `repro360 fleet --json` document.
+    payload = record["result"]["payload"]
+    print("\ncalls/cell   MOS    rate(Mbps)  delay(ms)  jain")
+    for point in payload["points"]:
+        print(
+            f"{point['calls_per_cell']:>10}   "
+            f"{point['mos_mean']:.2f}   {point['rate_mean_mbps']:>9.2f}  "
+            f"{point['delay_median_ms']:>8.1f}  {point['jain_mean']:.3f}"
+        )
+
+    client.wait(metrics_job["id"])
+
+    # An identical resubmission never re-simulates: the content-addressed
+    # payload cache answers it instantly.
+    replay = client.submit(fleet_spec)
+    print(
+        f"\nresubmitted the same spec -> {replay['id']} "
+        f"state={replay['state']} cache_hit={replay['cache_hit']}"
+    )
+
+    print("\nservice series from /metrics:")
+    for line in client.metrics_text().splitlines():
+        if line.startswith("repro_service_") and not line.startswith("# "):
+            print(f"  {line}")
+
+    server.close()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -27,7 +27,19 @@ Subcommands:
                 ``BENCH_perf.json``;
 - ``watch``     inspect (or ``--follow``) a run-ledger directory — the
                 manifest, the live heartbeat streams and the latest
-                OpenMetrics snapshot (docs/OBSERVABILITY.md).
+                OpenMetrics snapshot (docs/OBSERVABILITY.md); with
+                ``--url`` it follows a job on a ``serve`` instance
+                instead;
+- ``serve``     the long-running job-queue server: submit
+                metrics/fleet/perf specs over HTTP, watch them run,
+                scrape ``/metrics`` (docs/OBSERVABILITY.md, Service
+                mode);
+- ``submit``    client for ``serve``: queue one job (``--wait`` to
+                block until it finishes);
+- ``jobs``      client for ``serve``: list/show/cancel jobs;
+- ``runs``      run-ledger maintenance — list every run under a root
+                (status/age/size) or ``gc`` sealed runs past
+                ``--keep-days``.
 
 ``--jobs N`` (or ``REPRO_JOBS``) fans independent sessions across ``N``
 worker processes wherever a command runs experiment grids.  ``--run-dir
@@ -240,13 +252,8 @@ def _render_metrics(args, fleet, header: str) -> None:
 
 
 def cmd_metrics(args) -> int:
-    from repro.experiments import cache
-    from repro.experiments.parallel import (
-        SessionTask,
-        merged_meter,
-        resolve_jobs,
-        run_tasks,
-    )
+    from repro.experiments.parallel import resolve_jobs
+    from repro.service.jobs import execute_job, normalise_spec
 
     if args.from_run:
         from repro.obs.ledger import load_registry
@@ -258,8 +265,23 @@ def cmd_metrics(args) -> int:
             return 2
         _render_metrics(args, fleet, header=f"run={args.from_run}\n")
         return 0
-    if args.transport == "fbcc" and args.scenario == "wireline":
-        print("error: FBCC needs the LTE diagnostic interface", file=sys.stderr)
+    try:
+        spec = normalise_spec(
+            {
+                "kind": "metrics",
+                "scenario": args.scenario,
+                "duration": args.duration,
+                "warmup": args.warmup,
+                "seed": args.seed,
+                "scheme": args.scheme,
+                "transport": args.transport,
+                "profile": args.profile,
+                "sessions": args.sessions,
+                "batch": args.batch,
+            }
+        )
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
         return 2
     workers = resolve_jobs(args.jobs)
     ledger = _open_ledger(args, "metrics")
@@ -271,72 +293,17 @@ def cmd_metrics(args) -> int:
 
     inner = _stderr_progress if args.progress else None
     try:
-        if args.batch:
-            from repro.experiments.batch import BatchRunner
-            from repro.experiments.fleet import lockstep_scenario
-
-            configs = [
-                lockstep_scenario(
-                    args.scenario,
-                    scheme=args.scheme,
-                    transport=args.transport,
-                    duration=args.duration,
-                    seed=args.seed + index,
-                )
-                for index in range(args.sessions)
-            ]
-            runner = BatchRunner(jobs=args.jobs)
-            progress = inner
-            heartbeat = None
-            if ledger is not None:
-                progress = ledger.progress(
-                    kind="session", workers=workers, inner=inner
-                )
-                heartbeat = str(ledger.heartbeat_path)
-            try:
-                results, engine = runner.run_metered(
-                    configs, warmup=args.warmup, progress=progress,
-                    heartbeat_path=heartbeat,
-                )
-            except ValueError as error:
-                print(f"error: {error}", file=sys.stderr)
-                if ledger is not None and not ledger.finished:
-                    ledger.finish("error", error=str(error))
-                return 2
-            fleet = merged_meter(
-                results, workers=workers, cache_counters=cache.counters()
-            )
-            fleet.merge(engine)
-            # Batched sessions carry no per-session meters (the engine
-            # meter is cohort-level), so count them here instead.
-            fleet.inc("fleet.sessions", float(len(results)))
-        else:
-            tasks = [
-                SessionTask(
-                    scenario_name=args.scenario,
-                    scheme=args.scheme,
-                    transport=args.transport,
-                    duration=args.duration,
-                    warmup=args.warmup,
-                    seed=args.seed + index,
-                    profile_name=args.profile,
-                    meter=True,
-                )
-                for index in range(args.sessions)
-            ]
-            progress = inner
-            if ledger is not None:
-                progress = ledger.progress(
-                    kind="session", workers=workers, inner=inner
-                )
-            results = run_tasks(tasks, jobs=args.jobs, progress=progress)
-            fleet = merged_meter(
-                results, workers=workers, cache_counters=cache.counters()
-            )
+        outcome = execute_job(spec, jobs=args.jobs, ledger=ledger, progress=inner)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        if ledger is not None and not ledger.finished:
+            ledger.finish("error", error=str(error))
+        return 2
     except BaseException:
         if ledger is not None and not ledger.finished:
             ledger.finish("error")
         raise
+    fleet = outcome.meter
     _render_metrics(
         args, fleet, header=f"sessions={args.sessions} workers={workers}\n"
     )
@@ -345,30 +312,32 @@ def cmd_metrics(args) -> int:
 
 
 def cmd_fleet(args) -> int:
-    from repro.experiments.fleet import deterministic_registry_dict, fleet_sweep
     from repro.experiments.parallel import resolve_jobs
+    from repro.service.jobs import execute_job, normalise_spec
 
-    if args.transport == "fbcc" and args.scenario == "wireline":
-        print("error: FBCC needs the LTE diagnostic interface", file=sys.stderr)
-        return 2
     try:
-        calls = [int(v) for v in args.calls.split(",") if v.strip()]
-    except ValueError:
-        print(f"error: --calls must be integers, got {args.calls!r}", file=sys.stderr)
-        return 2
-    if not calls or any(v < 1 for v in calls):
-        print("error: --calls values must be >= 1", file=sys.stderr)
-        return 2
-    if args.batch and args.rotate_profiles:
-        print(
-            "error: --rotate-profiles requires the event engine "
-            "(drop it or drop --batch)",
-            file=sys.stderr,
+        spec = normalise_spec(
+            {
+                "kind": "fleet",
+                "scenario": args.scenario,
+                "scheme": args.scheme,
+                "transport": args.transport,
+                "duration": args.duration,
+                "warmup": args.warmup,
+                "seed": args.seed,
+                "calls": args.calls,
+                "cells": args.cells,
+                "prb_budget": args.prb_budget,
+                "background_ues": args.background_ues,
+                "background_load": args.background_load,
+                "rotate_profiles": args.rotate_profiles,
+                "batch": args.batch,
+            }
         )
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
         return 2
     ledger = _open_ledger(args, "fleet")
-    # A ledgered run streams the live registry, so metering is implied.
-    meter = bool(args.metrics_output) or args.meter or ledger is not None
 
     unit = "cell block" if args.batch else "cell"
 
@@ -376,50 +345,15 @@ def cmd_fleet(args) -> int:
         print(f"  {unit} {done}/{total} done", file=sys.stderr)
 
     inner = _stderr_progress if args.progress else None
-    progress = inner
-    heartbeat = None
-    if ledger is not None:
-        progress = ledger.progress(
-            kind="cell", workers=resolve_jobs(args.jobs), inner=inner
-        )
-        if args.batch:
-            heartbeat = str(ledger.heartbeat_path)
     try:
-        sweep = fleet_sweep(
-            args.scenario,
-            calls=calls,
-            cells=args.cells,
-            scheme=args.scheme,
-            transport=args.transport,
-            duration=args.duration,
-            warmup=args.warmup,
-            seed=args.seed,
-            background_ues=args.background_ues,
-            background_load=args.background_load,
-            prb_budget=args.prb_budget,
-            rotate_profiles=args.rotate_profiles,
-            jobs=args.jobs,
-            meter=meter,
-            batch=args.batch,
-            progress=progress,
-            heartbeat_path=heartbeat,
-        )
+        outcome = execute_job(spec, jobs=args.jobs, ledger=ledger, progress=inner)
     except BaseException:
         if ledger is not None and not ledger.finished:
             ledger.finish("error")
         raise
-    rows = [point.to_dict() for point in sweep.points]
+    payload = outcome.payload
+    rows = payload["points"]
     if args.json:
-        payload = {
-            "scenario": args.scenario,
-            "scheme": args.scheme,
-            "transport": args.transport,
-            "cells": args.cells,
-            "points": rows,
-            "cell_jains": [
-                [round(cell.jain, 6) for cell in group] for group in sweep.cells
-            ],
-        }
         print(json.dumps(payload, indent=1))
     else:
         print(
@@ -435,25 +369,23 @@ def cmd_fleet(args) -> int:
         for row in rows:
             print("  ".join(str(row[k]).ljust(widths[k]) for k in keys))
         print("\nper-cell Jain fairness")
-        for point, group in zip(sweep.points, sweep.cells):
-            jains = " ".join(f"{cell.jain:.4f}" for cell in group)
-            print(f"  calls={point.ues:<4} {jains}")
+        for row, jains in zip(rows, payload["cell_jains"]):
+            text = " ".join(f"{jain:.4f}" for jain in jains)
+            print(f"  calls={row['calls_per_cell']:<4} {text}")
         print("\ncalls-per-cell vs mean MOS")
+        mos = [row["mos_mean"] for row in rows]
         print(
             bar_chart(
-                [str(point.ues) for point in sweep.points],
-                [
-                    0.0 if point.mos_mean != point.mos_mean else point.mos_mean
-                    for point in sweep.points
-                ],
+                [str(row["calls_per_cell"]) for row in rows],
+                [0.0 if value != value else value for value in mos],
             )
         )
     if args.metrics_output:
         with open(args.metrics_output, "w") as handle:
-            json.dump(deterministic_registry_dict(sweep.meter), handle, indent=1)
+            json.dump(outcome.registry, handle, indent=1)
             handle.write("\n")
         print(f"fleet registry written to {args.metrics_output}", file=sys.stderr)
-    _finish_ledger(ledger, meter=sweep.meter)
+    _finish_ledger(ledger, meter=outcome.meter)
     return 0
 
 
@@ -569,6 +501,190 @@ def cmd_perf(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    import threading as _threading
+
+    from repro.obs.ledger import DEFAULT_RUN_ROOT, resolve_run_root
+    from repro.service.jobs import JobRegistry
+    from repro.service.server import ServiceServer
+
+    root = resolve_run_root(args.run_root)
+    if root is None:
+        from pathlib import Path
+
+        root = Path(DEFAULT_RUN_ROOT)
+    registry = JobRegistry(root, workers=args.workers, jobs=args.jobs)
+    server = ServiceServer(registry, host=args.host, port=args.port)
+    # The URL is the machine interface (scripts capture it to find the
+    # ephemeral port); everything else goes to stderr.
+    print(server.url, flush=True)
+    print(
+        f"serving jobs from {root} "
+        f"({args.workers} worker thread(s), jobs={args.jobs})",
+        file=sys.stderr,
+    )
+    if args.gc_keep_days is not None:
+        from time import sleep as _sleep
+
+        def _gc_loop() -> None:
+            while True:
+                _sleep(args.gc_interval)
+                removed = registry.gc(args.gc_keep_days)
+                if removed:
+                    print(
+                        f"gc: removed {len(removed)} sealed run(s)",
+                        file=sys.stderr,
+                    )
+
+        _threading.Thread(
+            target=_gc_loop, name="repro-serve-gc", daemon=True
+        ).start()
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
+    finally:
+        server.close()
+    return 0
+
+
+def _parse_spec(args) -> dict:
+    """Build a job spec from ``repro360 submit`` arguments."""
+    if args.spec:
+        spec = json.loads(args.spec)
+        if not isinstance(spec, dict):
+            raise ValueError("--spec must be a JSON object")
+    elif args.kind:
+        spec = {"kind": args.kind}
+    else:
+        raise ValueError("give a job KIND or --spec JSON")
+    for pair in args.set or []:
+        key, sep, raw = pair.partition("=")
+        if not sep:
+            raise ValueError(f"--set needs key=value, got {pair!r}")
+        try:
+            spec[key] = json.loads(raw)
+        except ValueError:
+            spec[key] = raw  # bare strings (scenario names, schemes...)
+    return spec
+
+
+def cmd_submit(args) -> int:
+    from repro.service.client import ServiceClient, ServiceError
+
+    client = ServiceClient(args.url)
+    try:
+        spec = _parse_spec(args)
+        job = client.submit(spec)
+        if args.wait and job["state"] not in ("done", "failed", "cancelled"):
+            job = client.wait(job["id"], timeout=args.timeout)
+    except (ValueError, ServiceError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(job, indent=1))
+    else:
+        hit = " (cache hit)" if job.get("cache_hit") else ""
+        print(f"{job['id']} {job['state']}{hit}")
+        if job.get("run_dir"):
+            print(f"  run dir: {job['run_dir']}")
+        if job.get("error"):
+            print(f"  error: {job['error']}")
+    return 0 if job["state"] in ("queued", "running", "done") else 1
+
+
+def cmd_jobs(args) -> int:
+    from repro.service.client import ServiceClient, ServiceError
+
+    client = ServiceClient(args.url)
+    try:
+        if args.action == "cancel":
+            if not args.id:
+                print("error: cancel needs a job id", file=sys.stderr)
+                return 2
+            cancelled = client.cancel(args.id)
+            print(f"{args.id} {'cancelled' if cancelled else 'not active'}")
+            return 0
+        if args.action == "show":
+            if not args.id:
+                print("error: show needs a job id", file=sys.stderr)
+                return 2
+            print(json.dumps(client.job(args.id), indent=1))
+            return 0
+        rows = client.jobs()
+    except ServiceError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(rows, indent=1))
+        return 0
+    if not rows:
+        print("no jobs")
+        return 0
+    for job in rows:
+        progress = ""
+        if job.get("total"):
+            progress = f" {job['done']}/{job['total']}"
+            if job.get("eta_s") is not None:
+                progress += f" eta {job['eta_s']:g}s"
+        hit = " cache-hit" if job.get("cache_hit") else ""
+        print(f"  {job['id']}  {job['kind']:<8} {job['state']:<10}{hit}{progress}")
+    return 0
+
+
+def cmd_runs(args) -> int:
+    from pathlib import Path
+
+    from repro.obs.ledger import (
+        DEFAULT_RUN_ROOT,
+        DEFAULT_STALE_AFTER_S,
+        gc_runs,
+        list_runs,
+        resolve_run_root,
+    )
+
+    root = resolve_run_root(args.root)
+    if root is None:
+        root = Path(DEFAULT_RUN_ROOT)
+    stale = (
+        args.stale_after if args.stale_after is not None else DEFAULT_STALE_AFTER_S
+    )
+    if args.runs_command == "gc":
+        removed, kept = gc_runs(
+            root,
+            keep_days=args.keep_days,
+            dry_run=args.dry_run,
+            stale_after_s=stale,
+        )
+        verb = "would remove" if args.dry_run else "removed"
+        for info in removed:
+            print(f"  {verb} {info.run_dir} ({info.status})")
+        print(
+            f"{verb} {len(removed)} run(s), kept {len(kept)} "
+            f"(cutoff {args.keep_days:g} day(s))"
+        )
+        return 0
+    runs = list_runs(root, stale_after_s=stale)
+    if args.json:
+        print(json.dumps([info.to_dict() for info in runs], indent=1))
+        return 0
+    if not runs:
+        print(f"no runs under {root}")
+        return 0
+    for info in runs:
+        age = info.age_s
+        span = (
+            f"{age:.0f}s" if age < 120 else
+            f"{age / 60:.0f}m" if age < 7200 else
+            f"{age / 3600:.1f}h"
+        )
+        print(
+            f"  {info.run_id:<44} {info.status:<10} age {span:>6}  "
+            f"{info.size_bytes / 1e3:8.1f} kB  {info.heartbeats} beat(s)"
+        )
+    return 0
+
+
 def _watch_render(run_dir) -> str:
     """One full ``repro360 watch`` report of a run directory."""
     from repro.obs.ledger import (
@@ -637,12 +753,44 @@ def _watch_render(run_dir) -> str:
     return "\n".join(lines)
 
 
+def _watch_remote(args) -> int:
+    """``repro360 watch --url``: follow a server job instead of a dir."""
+    import time as _time
+
+    from repro.service.client import ServiceClient, ServiceError
+
+    client = ServiceClient(args.url)
+    seen = 0
+    try:
+        while True:
+            job = client.job(args.run_dir)
+            progress = ""
+            if job.get("total"):
+                progress = f" {job['done']}/{job['total']}"
+                if job.get("eta_s") is not None:
+                    progress += f" eta {job['eta_s']:g}s"
+            print(f"{job['id']} {job['kind']} {job['state']}{progress}")
+            for record in client.events(args.run_dir, since=seen):
+                seen += 1
+                print(f"  {json.dumps(record, sort_keys=True)}")
+            if job["state"] in ("done", "failed", "cancelled") or not args.follow:
+                if job.get("error"):
+                    print(f"error: {job['error']}", file=sys.stderr)
+                return 0 if job["state"] in ("done", "queued", "running") else 1
+            _time.sleep(args.interval)
+    except ServiceError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
 def cmd_watch(args) -> int:
     import time as _time
     from pathlib import Path
 
     from repro.obs.ledger import MANIFEST_NAME, read_manifest
 
+    if args.url:
+        return _watch_remote(args)
     run_dir = Path(args.run_dir)
     if not (run_dir / MANIFEST_NAME).exists():
         print(f"error: no {MANIFEST_NAME} in {run_dir}", file=sys.stderr)
@@ -932,10 +1080,13 @@ def build_parser() -> argparse.ArgumentParser:
     perf_parser.set_defaults(func=cmd_perf)
 
     watch_parser = sub.add_parser(
-        "watch", help="inspect (or tail) a run-ledger directory"
+        "watch", help="inspect (or tail) a run-ledger directory or server job"
     )
     watch_parser.add_argument(
-        "run_dir", metavar="RUN_DIR", help="a run directory holding manifest.json"
+        "run_dir",
+        metavar="RUN_DIR_OR_JOB",
+        help="a run directory holding manifest.json (or, with --url, a "
+        "server job id)",
     )
     watch_parser.add_argument(
         "--follow",
@@ -948,7 +1099,167 @@ def build_parser() -> argparse.ArgumentParser:
         default=2.0,
         help="seconds between --follow renders (default 2)",
     )
+    watch_parser.add_argument(
+        "--url",
+        metavar="URL",
+        default=None,
+        help="watch a job on a repro360 serve instance instead of a "
+        "local run directory (positional becomes the job id)",
+    )
     watch_parser.set_defaults(func=cmd_watch)
+
+    serve_parser = sub.add_parser(
+        "serve",
+        help="long-running job-queue server with live telemetry "
+        "(docs/OBSERVABILITY.md, Service mode)",
+    )
+    serve_parser.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="bind address (default 127.0.0.1; exposing the simulator "
+        "beyond the host is an explicit choice)",
+    )
+    serve_parser.add_argument(
+        "--port",
+        type=int,
+        default=8360,
+        help="TCP port (0 = ephemeral; the resolved URL is printed on "
+        "stdout either way)",
+    )
+    serve_parser.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="concurrent jobs (worker threads; default 2)",
+    )
+    serve_parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes *per job* for session fan-out (0 = all "
+        "cores; default: REPRO_JOBS or serial)",
+    )
+    serve_parser.add_argument(
+        "--run-root",
+        metavar="DIR",
+        default=None,
+        help="run root for job ledgers (default: REPRO_RUN_DIR or "
+        ".repro_runs)",
+    )
+    serve_parser.add_argument(
+        "--gc-keep-days",
+        type=float,
+        default=None,
+        metavar="DAYS",
+        help="prune sealed job runs older than DAYS in the background "
+        "(default: never)",
+    )
+    serve_parser.add_argument(
+        "--gc-interval",
+        type=float,
+        default=3600.0,
+        metavar="SECONDS",
+        help="seconds between background GC passes (default 3600)",
+    )
+    serve_parser.set_defaults(func=cmd_serve)
+
+    submit_parser = sub.add_parser(
+        "submit", help="submit a job to a repro360 serve instance"
+    )
+    submit_parser.add_argument(
+        "kind",
+        nargs="?",
+        choices=("metrics", "fleet", "perf"),
+        help="job kind (omit when giving the full --spec)",
+    )
+    submit_parser.add_argument(
+        "--url", required=True, help="server base URL (repro360 serve output)"
+    )
+    submit_parser.add_argument(
+        "--spec",
+        metavar="JSON",
+        default=None,
+        help='full job spec as JSON, e.g. \'{"kind": "fleet", "calls": [1, 2]}\'',
+    )
+    submit_parser.add_argument(
+        "--set",
+        action="append",
+        metavar="KEY=VALUE",
+        help="override one spec field (VALUE parsed as JSON, else "
+        "string); repeatable",
+    )
+    submit_parser.add_argument(
+        "--wait",
+        action="store_true",
+        help="block until the job reaches a terminal state",
+    )
+    submit_parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="give up --wait after SECONDS (job keeps running server-side)",
+    )
+    submit_parser.add_argument(
+        "--json", action="store_true", help="print the full job record"
+    )
+    submit_parser.set_defaults(func=cmd_submit)
+
+    jobs_parser = sub.add_parser(
+        "jobs", help="list/show/cancel jobs on a repro360 serve instance"
+    )
+    jobs_parser.add_argument(
+        "action",
+        nargs="?",
+        default="list",
+        choices=("list", "show", "cancel"),
+    )
+    jobs_parser.add_argument("id", nargs="?", default=None, help="job id")
+    jobs_parser.add_argument(
+        "--url", required=True, help="server base URL (repro360 serve output)"
+    )
+    jobs_parser.add_argument("--json", action="store_true")
+    jobs_parser.set_defaults(func=cmd_jobs)
+
+    runs_parser = sub.add_parser(
+        "runs", help="list or prune run-ledger directories"
+    )
+    runs_sub = runs_parser.add_subparsers(dest="runs_command", required=True)
+    runs_list = runs_sub.add_parser(
+        "list", help="every run under the root: status, age, size"
+    )
+    runs_gc = runs_sub.add_parser(
+        "gc", help="prune sealed (or stale) runs older than --keep-days"
+    )
+    for sub_parser in (runs_list, runs_gc):
+        sub_parser.add_argument(
+            "--root",
+            metavar="DIR",
+            default=None,
+            help="run root (default: REPRO_RUN_DIR or .repro_runs)",
+        )
+        sub_parser.add_argument(
+            "--stale-after",
+            type=float,
+            default=None,
+            metavar="SECONDS",
+            help="age beyond which a 'running' run counts as abandoned "
+            "(default 900)",
+        )
+    runs_list.add_argument("--json", action="store_true")
+    runs_gc.add_argument(
+        "--keep-days",
+        type=float,
+        default=7.0,
+        metavar="DAYS",
+        help="retention window for sealed runs (default 7)",
+    )
+    runs_gc.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="report what would be removed without deleting",
+    )
+    runs_parser.set_defaults(func=cmd_runs)
     return parser
 
 

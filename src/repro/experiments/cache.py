@@ -229,6 +229,62 @@ def store(key: str, results: List[SessionResult]) -> None:
         pass
 
 
+def payload_key(payload: dict) -> str:
+    """Stable content hash of a JSON-safe payload (e.g. a job spec).
+
+    Canonical JSON keyed the same way :func:`condition_key` keys
+    experiment conditions; the surrounding ``<code-salt>/`` directory
+    provides code-version invalidation, so the key itself only hashes
+    the payload.
+    """
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()[:32]
+
+
+def _payload_path(key: str) -> Path:
+    return cache_dir() / code_salt() / f"{key}.json"
+
+
+def load_payload(key: str) -> Optional[dict]:
+    """Fetch a JSON payload entry from disk, or None on miss.
+
+    The JSON sibling of :func:`load` for results that are not pickled
+    session lists — the service (`repro.service`) persists finished job
+    payloads this way, so a resubmitted identical job completes from
+    cache even across server restarts.  Does not touch the ``cache.*``
+    hit/miss counters (the service meters its own ``service.jobs_cache_
+    hits``).
+    """
+    if not cache_enabled():
+        return None
+    try:
+        return json.loads(_payload_path(key).read_text())
+    except (OSError, ValueError):
+        return None
+
+
+def store_payload(key: str, payload: dict) -> None:
+    """Persist a JSON payload entry (atomic write; best effort)."""
+    if not cache_enabled():
+        return
+    path = _payload_path(key)
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(payload, handle, separators=(",", ":"))
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+    except OSError:
+        pass
+
+
 def stats() -> dict:
     """Entry count / byte size / staleness breakdown of the cache."""
     root = cache_dir()

@@ -34,6 +34,21 @@ from repro.telephony.session import SessionResult
 #: ``progress(done, total, result)`` after each finished session.
 ProgressCallback = Callable[[int, int, SessionResult], None]
 
+#: Signature of the ``run_tasks`` cancellation probe: a nullary callable
+#: returning True once the sweep should stop (``threading.Event.is_set``
+#: bound to an event is the common shape).
+CancelProbe = Callable[[], bool]
+
+
+class RunCancelled(RuntimeError):
+    """A sweep was cancelled between tasks (see ``run_tasks(cancel=)``).
+
+    Raised from the *calling* process, never from inside a worker:
+    already-running tasks finish, queued ones are abandoned.  The
+    service's job queue (:mod:`repro.service.jobs`) maps this onto its
+    ``cancelled`` job state.
+    """
+
 #: Process-wide default set by ``set_default_jobs`` (e.g. from --jobs).
 _DEFAULT_JOBS: Optional[int] = None
 
@@ -254,6 +269,7 @@ def run_tasks(
     tasks: Sequence,
     jobs: Optional[int] = None,
     progress: Optional[ProgressCallback] = None,
+    cancel: Optional[CancelProbe] = None,
 ) -> List:
     """Run tasks, fanning across processes; results are in task order.
 
@@ -272,6 +288,13 @@ def run_tasks(
     ``progress`` is invoked as ``progress(done, total, result)`` after
     every finished session, in task order, from the calling process —
     long sweeps can report per-worker health without touching results.
+
+    ``cancel`` is probed before each serial task and after each pooled
+    completion; once it returns True the sweep raises
+    :class:`RunCancelled` from the calling process (in-flight worker
+    tasks drain, queued ones never start).  Cancellation cannot corrupt
+    results: every task that *did* run is bit-identical to its serial
+    counterpart.
     """
     tasks = list(tasks)
     workers = resolve_jobs(jobs)
@@ -285,6 +308,8 @@ def run_tasks(
     results: List = []
     if serial:
         for task in tasks:
+            if cancel is not None and cancel():
+                raise RunCancelled(f"cancelled after {len(results)}/{total} tasks")
             result = task.run()
             results.append(result)
             if progress is not None:
@@ -297,6 +322,8 @@ def run_tasks(
             results.append(result)
             if progress is not None:
                 progress(len(results), total, result)
+            if cancel is not None and cancel():
+                raise RunCancelled(f"cancelled after {len(results)}/{total} tasks")
     return results
 
 

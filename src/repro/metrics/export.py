@@ -16,10 +16,12 @@ Three families live here:
   ``event`` (catalogue name), every other key an event field;
 - the **metrics** exporters (``metrics_to_dict`` /
   ``write_metrics_json`` / ``meter_from_dict`` /
-  ``metrics_to_openmetrics`` / ``write_metrics_openmetrics``) over a
-  :class:`repro.obs.SessionMeter` — JSON snapshots for tooling and the
-  OpenMetrics/Prometheus text exposition format for scrapers, validated
-  by ``tools/check_metrics.py``.  See docs/OBSERVABILITY.md.
+  ``metrics_to_openmetrics`` / ``write_metrics_openmetrics`` /
+  ``read_openmetrics``) over a :class:`repro.obs.SessionMeter` — JSON
+  snapshots for tooling and the OpenMetrics/Prometheus text exposition
+  format for scrapers (with a catalogue-driven parser so a ``/metrics``
+  scrape round-trips back into a meter), validated by
+  ``tools/check_metrics.py``.  See docs/OBSERVABILITY.md.
 """
 
 from __future__ import annotations
@@ -370,6 +372,153 @@ def metrics_to_openmetrics(meter) -> str:
 def write_metrics_openmetrics(path: PathLike, meter) -> None:
     """Write a meter in the OpenMetrics text format."""
     Path(path).write_text(metrics_to_openmetrics(meter))
+
+
+def _om_reverse_table() -> dict:
+    """Family name -> ("metric"|"span", catalogue name) for every
+    catalogue entry, built from the same :func:`openmetrics_family`
+    mapping the exporter uses so the two can never drift."""
+    table = {}
+    for name, spec in METRIC_CATALOGUE.items():
+        table[openmetrics_family(name, spec.unit)] = ("metric", name)
+    for name in SPAN_CATALOGUE:
+        table[openmetrics_family("span." + name) + "_seconds"] = ("span", name)
+    return table
+
+
+def _om_parse_sample(line: str):
+    """Split one exposition sample line into (name, le_label, value_text).
+
+    ``le_label`` is the ``le="..."`` value for histogram bucket samples,
+    else None.  The exporter never emits other labels, so anything else
+    inside ``{}`` is a parse error.
+    """
+    name, _, rest = line.partition(" ")
+    label = None
+    if "{" in name:
+        name, _, label_part = name.partition("{")
+        label_part = label_part.rstrip("}")
+        if not label_part.startswith('le="') or not label_part.endswith('"'):
+            raise ValueError(f"unsupported label set: {line!r}")
+        label = label_part[len('le="'):-1]
+    value_text = rest.split()[0] if rest.split() else ""
+    if not value_text:
+        raise ValueError(f"sample line without a value: {line!r}")
+    return name, label, value_text
+
+
+def read_openmetrics(text: str, strict: bool = True):
+    """Parse :func:`metrics_to_openmetrics` output back into a meter.
+
+    The inverse of the exporter for everything the text format can
+    carry: counters, gauges and histograms round-trip **exactly** (a
+    parse → re-export cycle is byte-identical); spans round-trip their
+    ``sum``/``count`` accumulators but lose ``min_s``/``max_s``, which
+    the summary exposition does not encode (re-export is still
+    byte-identical, since only ``_sum``/``_count`` are emitted).
+
+    Family names resolve through the metric/span catalogues — the same
+    :func:`openmetrics_family` mapping the exporter uses.  An unknown
+    family raises :class:`ValueError` under ``strict`` (the default) and
+    is skipped otherwise, so a scrape from a newer server can still be
+    loaded by an older client with ``strict=False``.
+    """
+    from repro.obs.meter import SessionMeter
+    from repro.obs.metrics import Histogram
+    from repro.obs.spans import SpanStats
+
+    table = _om_reverse_table()
+    meter = SessionMeter()
+    types: dict = {}
+    # family -> {"bounds": [...], "cumulative": [...], "sum": x, "count": n}
+    partial: dict = {}
+    saw_eof = False
+
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line:
+            continue
+        if line == "# EOF":
+            saw_eof = True
+            continue
+        if saw_eof:
+            raise ValueError(f"content after # EOF: {line!r}")
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 3 and parts[1] == "TYPE":
+                types[parts[2]] = parts[3].split()[0] if len(parts) > 3 else ""
+            continue
+        sample, le_label, value_text = _om_parse_sample(line)
+
+        # Resolve the owning family: exact match first (gauges), then
+        # the exporter's suffixes, longest first so ``_bucket`` does not
+        # shadow a hypothetical metric ending in "bucket".
+        family, suffix = None, ""
+        if sample in types:
+            family, suffix = sample, ""
+        else:
+            for candidate in ("_bucket", "_total", "_count", "_sum"):
+                if sample.endswith(candidate) and sample[: -len(candidate)] in types:
+                    family, suffix = sample[: -len(candidate)], candidate
+                    break
+        if family is None:
+            raise ValueError(f"sample before its # TYPE line: {line!r}")
+        resolved = table.get(family)
+        if resolved is None:
+            if strict:
+                raise ValueError(f"family not in any catalogue: {family!r}")
+            continue
+        domain, name = resolved
+        kind = types[family]
+
+        if kind == "counter":
+            meter.metrics.counters[name] = float(value_text)
+        elif kind == "gauge":
+            meter.metrics.gauges[name] = float(value_text)
+        elif kind == "histogram":
+            state = partial.setdefault(
+                family, {"bounds": [], "cumulative": [], "sum": 0.0, "count": 0}
+            )
+            if suffix == "_bucket":
+                if le_label != "+Inf":
+                    state["bounds"].append(float(le_label))
+                state["cumulative"].append(int(float(value_text)))
+            elif suffix == "_sum":
+                state["sum"] = float(value_text)
+            elif suffix == "_count":
+                state["count"] = int(float(value_text))
+        elif kind == "summary" and domain == "span":
+            stats = meter.spans.stats.setdefault(name, SpanStats())
+            if suffix == "_sum":
+                stats.total_s = float(value_text)
+            elif suffix == "_count":
+                stats.count = int(float(value_text))
+                stats.min_s = 0.0 if stats.count else float("inf")
+                stats.max_s = 0.0
+        else:
+            raise ValueError(f"unsupported family kind {kind!r} for {family!r}")
+
+    if not saw_eof:
+        raise ValueError("exposition does not end with # EOF")
+
+    for family, state in partial.items():
+        _, name = table[family]
+        hist = Histogram(tuple(state["bounds"]))
+        previous = 0
+        counts = []
+        for running in state["cumulative"]:
+            counts.append(running - previous)
+            previous = running
+        if len(counts) != len(hist.counts):
+            raise ValueError(
+                f"histogram {family!r} has {len(counts)} buckets, "
+                f"expected {len(hist.counts)}"
+            )
+        hist.counts = counts
+        hist.sum = state["sum"]
+        hist.count = state["count"]
+        meter.metrics._hists[name] = hist
+    return meter
 
 
 def write_frames_csv(path: PathLike, log: SessionLog) -> int:

@@ -42,9 +42,11 @@ from __future__ import annotations
 import json
 import os
 import platform
+import shutil
 import time
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Callable, List, Optional, Union
+from typing import Callable, List, Optional, Tuple, Union
 
 from repro.obs.meter import SessionMeter
 
@@ -68,6 +70,14 @@ CACHE_STATS_NAME = "cache_stats.json"
 #: Wall-clock seconds between OpenMetrics snapshots (the first eligible
 #: snapshot is taken immediately, so even a tiny run produces one).
 DEFAULT_SNAPSHOT_EVERY_S = 5.0
+
+#: Terminal manifest statuses a sealed run may carry ("running" is the
+#: only non-terminal one).
+TERMINAL_STATUSES = ("ok", "error", "cancelled")
+
+#: A "running" run whose newest heartbeat is older than this is
+#: presumed abandoned (its process died without sealing the manifest).
+DEFAULT_STALE_AFTER_S = 900.0
 
 #: The heartbeat ``kind`` vocabulary.  ``session``/``cell`` records come
 #: from the parent's ``run_tasks`` progress callback (``done`` is the
@@ -479,3 +489,179 @@ def load_registry(run_dir: PathLike) -> SessionMeter:
 
     payload = json.loads((Path(run_dir) / REGISTRY_NAME).read_text())
     return meter_from_dict(payload)
+
+
+# ----------------------------------------------------------------------
+# Maintenance (repro360 runs list|gc, the service's artifact GC)
+# ----------------------------------------------------------------------
+
+
+def heartbeat_age_s(run_dir: PathLike, now: Optional[float] = None) -> Optional[float]:
+    """Seconds since the run last appended a heartbeat, or None.
+
+    Uses the heartbeat file's mtime (every record is one ``O_APPEND``
+    write, so the mtime tracks the newest record without parsing a
+    possibly multi-megabyte stream); falls back to the manifest's mtime
+    for a run that never heartbeat.
+    """
+    now = time.time() if now is None else now
+    for name in (HEARTBEAT_NAME, MANIFEST_NAME):
+        path = Path(run_dir) / name
+        try:
+            return max(0.0, now - path.stat().st_mtime)
+        except OSError:
+            continue
+    return None
+
+
+def run_status(
+    run_dir: PathLike,
+    stale_after_s: float = DEFAULT_STALE_AFTER_S,
+    now: Optional[float] = None,
+) -> str:
+    """Effective status of a run directory: its manifest status, with
+    ``"running"`` demoted to ``"stale"`` once the newest heartbeat is
+    older than ``stale_after_s`` (the writing process is presumed dead
+    without having sealed the manifest).  ``"invalid"`` when the
+    manifest is missing or unreadable.
+    """
+    try:
+        manifest = read_manifest(run_dir)
+    except (OSError, json.JSONDecodeError):
+        return "invalid"
+    status = manifest.get("status")
+    if status != "running":
+        return str(status)
+    age = heartbeat_age_s(run_dir, now=now)
+    if age is not None and age > stale_after_s:
+        return "stale"
+    return "running"
+
+
+def _dir_size(path: Path) -> int:
+    total = 0
+    for child in path.rglob("*"):
+        try:
+            if child.is_file():
+                total += child.stat().st_size
+        except OSError:
+            continue
+    return total
+
+
+@dataclass(frozen=True)
+class RunInfo:
+    """One row of ``repro360 runs list``."""
+
+    run_dir: Path
+    run_id: str
+    command: str
+    status: str  # terminal status, "running", "stale" or "invalid"
+    age_s: float  # since the run started (manifest mtime fallback)
+    size_bytes: int
+    heartbeats: int  # record count (line count of heartbeat.jsonl)
+
+    def to_dict(self) -> dict:
+        return {
+            "run_dir": str(self.run_dir),
+            "run_id": self.run_id,
+            "command": self.command,
+            "status": self.status,
+            "age_s": round(self.age_s, 1),
+            "size_bytes": self.size_bytes,
+            "heartbeats": self.heartbeats,
+        }
+
+
+def list_runs(
+    root: PathLike,
+    stale_after_s: float = DEFAULT_STALE_AFTER_S,
+    now: Optional[float] = None,
+) -> List[RunInfo]:
+    """Enumerate every run directory under a run root, oldest first.
+
+    A run directory is any child holding a ``manifest.json``; unreadable
+    manifests surface as ``status="invalid"`` rather than raising, so
+    one torn run cannot hide the rest from ``repro360 runs list``.
+    """
+    root = Path(root)
+    now = time.time() if now is None else now
+    runs: List[RunInfo] = []
+    if not root.is_dir():
+        return runs
+    for child in sorted(root.iterdir()):
+        manifest_path = child / MANIFEST_NAME
+        if not manifest_path.exists():
+            continue
+        try:
+            manifest = read_manifest(child)
+        except (OSError, json.JSONDecodeError):
+            manifest = {}
+        started = manifest.get("started_wall")
+        if started is None:
+            try:
+                started = manifest_path.stat().st_mtime
+            except OSError:
+                started = now
+        heartbeat = child / HEARTBEAT_NAME
+        beats = 0
+        if heartbeat.exists():
+            try:
+                beats = sum(1 for line in heartbeat.open() if line.strip())
+            except OSError:
+                beats = 0
+        runs.append(
+            RunInfo(
+                run_dir=child,
+                run_id=str(manifest.get("run_id", child.name)),
+                command=str(manifest.get("command", "?")),
+                status=run_status(child, stale_after_s=stale_after_s, now=now),
+                age_s=max(0.0, now - float(started)),
+                size_bytes=_dir_size(child),
+                heartbeats=beats,
+            )
+        )
+    return runs
+
+
+def gc_runs(
+    root: PathLike,
+    keep_days: float = 7.0,
+    dry_run: bool = False,
+    stale_after_s: float = DEFAULT_STALE_AFTER_S,
+    now: Optional[float] = None,
+) -> Tuple[List[RunInfo], List[RunInfo]]:
+    """Prune sealed (and stale) runs older than ``keep_days``.
+
+    Returns ``(removed, kept)``.  Only runs whose effective status is
+    terminal or ``"stale"`` are candidates — a live run is never
+    removed, however old; age is measured from the run's *end*
+    (``ended_wall``) when sealed, else from its newest heartbeat.
+    ``dry_run`` reports the same partition without deleting anything.
+    The service (`repro360 serve --gc-keep-days`) reuses this for its
+    own artifact GC.
+    """
+    now = time.time() if now is None else now
+    cutoff_s = float(keep_days) * 86400.0
+    removed: List[RunInfo] = []
+    kept: List[RunInfo] = []
+    for info in list_runs(root, stale_after_s=stale_after_s, now=now):
+        candidate = info.status in TERMINAL_STATUSES or info.status == "stale"
+        idle_s = None
+        if candidate:
+            try:
+                manifest = read_manifest(info.run_dir)
+            except (OSError, json.JSONDecodeError):
+                manifest = {}
+            ended = manifest.get("ended_wall")
+            if ended is not None:
+                idle_s = max(0.0, now - float(ended))
+            else:
+                idle_s = heartbeat_age_s(info.run_dir, now=now)
+        if candidate and idle_s is not None and idle_s > cutoff_s:
+            if not dry_run:
+                shutil.rmtree(info.run_dir, ignore_errors=True)
+            removed.append(info)
+        else:
+            kept.append(info)
+    return removed, kept

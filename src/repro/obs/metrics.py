@@ -280,6 +280,71 @@ _SPECS = (
         "Sessions routed to the scalar engine below the batching "
         "crossover (or by on_unsupported='scalar').",
     ),
+    # ------------------------------------------------------------- service
+    MetricSpec(
+        "service.jobs_submitted", "counter", "service", "",
+        "repro.service.jobs.JobRegistry.submit",
+        "Job records created by the service (fresh runs and instant "
+        "cache-hit completions).",
+    ),
+    MetricSpec(
+        "service.jobs_deduped", "counter", "service", "",
+        "repro.service.jobs.JobRegistry.submit",
+        "Submissions attached to an already queued or running job with "
+        "the same content-addressed key.",
+    ),
+    MetricSpec(
+        "service.jobs_cache_hits", "counter", "service", "",
+        "repro.service.jobs.JobRegistry.submit",
+        "Jobs completed instantly from the content-addressed payload "
+        "cache (identical spec, identical code salt).",
+    ),
+    MetricSpec(
+        "service.jobs_completed", "counter", "service", "",
+        "repro.service.jobs.JobRegistry._run_job",
+        "Jobs run to a sealed ok ledger by a worker thread.",
+    ),
+    MetricSpec(
+        "service.jobs_failed", "counter", "service", "",
+        "repro.service.jobs.JobRegistry._run_job",
+        "Jobs whose execution raised (ledger sealed with status error).",
+    ),
+    MetricSpec(
+        "service.jobs_cancelled", "counter", "service", "",
+        "repro.service.jobs.JobRegistry._run_job",
+        "Jobs cancelled before or during execution.",
+    ),
+    MetricSpec(
+        "service.requests", "counter", "service", "",
+        "repro.service.server.ServiceHandler",
+        "HTTP requests served by the job-queue server.",
+    ),
+    MetricSpec(
+        "service.runs_gc_removed", "counter", "service", "",
+        "repro.service.jobs.JobRegistry.gc",
+        "Sealed run directories pruned by the service's artifact GC.",
+    ),
+    MetricSpec(
+        "service.queue_wait_s", "histogram", "service", "s",
+        "repro.service.jobs.JobRegistry._run_job",
+        "Distribution of submit-to-start queue wait per executed job.",
+        buckets=(0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 15.0, 60.0, 300.0),
+    ),
+    MetricSpec(
+        "service.jobs_queued", "gauge", "service", "",
+        "repro.service.jobs.JobRegistry.service_registry",
+        "Jobs waiting in the queue at scrape time.",
+    ),
+    MetricSpec(
+        "service.jobs_running", "gauge", "service", "",
+        "repro.service.jobs.JobRegistry.service_registry",
+        "Jobs executing on worker threads at scrape time.",
+    ),
+    MetricSpec(
+        "service.uptime_s", "gauge", "service", "s",
+        "repro.service.jobs.JobRegistry.service_registry",
+        "Wall-clock seconds since the job registry was created.",
+    ),
 )
 
 #: Name → spec for every metric the stack can record.

@@ -1,0 +1,43 @@
+"""Service mode: the ``repro360 serve`` long-running job-queue server.
+
+POI360's measurement workflow is campaign-shaped: many sweeps queued
+against the same simulator build, watched while they run, compared
+after they finish.  This package turns the one-shot CLI commands into a
+**service**: a stdlib-only HTTP server (:mod:`repro.service.server`)
+fronting a thread-pool job queue (:mod:`repro.service.jobs`) that runs
+``metrics`` / ``fleet`` / ``perf`` invocations through the *same*
+execution path the CLI uses (:func:`repro.service.jobs.execute_job`),
+with a run ledger attached to every job and every finished payload
+persisted in the content-addressed cache.
+
+Because the CLI and the server share ``execute_job``, a job submitted
+over HTTP produces **byte-identical** registries and summaries to the
+same invocation typed at a terminal — the service adds queueing,
+telemetry and caching around the simulation, never inside it.
+
+See docs/OBSERVABILITY.md ("Service mode") for the endpoint map, the
+``service.*`` metric catalogue additions and the job lifecycle.
+"""
+
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.jobs import (
+    JOB_KINDS,
+    JobCancelled,
+    JobRegistry,
+    execute_job,
+    job_key,
+    normalise_spec,
+)
+from repro.service.server import ServiceServer
+
+__all__ = [
+    "JOB_KINDS",
+    "JobCancelled",
+    "JobRegistry",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceServer",
+    "execute_job",
+    "job_key",
+    "normalise_spec",
+]

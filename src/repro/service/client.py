@@ -1,0 +1,127 @@
+"""A stdlib (urllib) client for the job-queue server.
+
+Used by the ``repro360 submit`` / ``repro360 jobs`` / ``repro360 watch
+--url`` subcommands, the smoke harness (``tools/check_serve.py``) and
+the test suite; any HTTP client speaks the same JSON, this one just
+wraps the endpoints in typed methods and turns error responses into
+:class:`ServiceError`.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import List, Optional
+
+#: Terminal job states a ``wait`` call returns on.
+TERMINAL_JOB_STATES = ("done", "failed", "cancelled")
+
+
+class ServiceError(RuntimeError):
+    """An error response (or transport failure) from the server."""
+
+    def __init__(self, message: str, status: Optional[int] = None):
+        super().__init__(message)
+        self.status = status
+
+
+class ServiceClient:
+    """One server, addressed by base URL (``http://127.0.0.1:8360``)."""
+
+    def __init__(self, url: str, timeout: float = 30.0):
+        self.url = url.rstrip("/")
+        self.timeout = timeout
+
+    # ----------------------------------------------------------- plumbing
+
+    def _request(self, method: str, path: str, payload=None) -> bytes:
+        body = None
+        headers = {}
+        if payload is not None:
+            body = json.dumps(payload).encode()
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            self.url + path, data=body, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return response.read()
+        except urllib.error.HTTPError as error:
+            detail = error.read().decode(errors="replace").strip()
+            try:
+                detail = json.loads(detail).get("error", detail)
+            except ValueError:
+                pass
+            raise ServiceError(
+                f"{method} {path}: {detail or error.reason}", status=error.code
+            ) from error
+        except urllib.error.URLError as error:
+            raise ServiceError(f"{method} {path}: {error.reason}") from error
+
+    def _json(self, method: str, path: str, payload=None) -> dict:
+        return json.loads(self._request(method, path, payload))
+
+    # ---------------------------------------------------------- endpoints
+
+    def healthz(self) -> dict:
+        return self._json("GET", "/healthz")
+
+    def submit(self, spec: dict) -> dict:
+        """Submit a job spec; returns the job record (maybe a replay)."""
+        return self._json("POST", "/jobs", spec)
+
+    def jobs(self) -> List[dict]:
+        return self._json("GET", "/jobs")["jobs"]
+
+    def job(self, job_id: str) -> dict:
+        """One job record, including its result payload when finished."""
+        return self._json("GET", f"/jobs/{job_id}")
+
+    def cancel(self, job_id: str) -> bool:
+        return bool(self._json("POST", f"/jobs/{job_id}/cancel")["cancelled"])
+
+    def events(self, job_id: str, since: int = 0) -> List[dict]:
+        """The job's heartbeat records from index ``since`` onward."""
+        raw = self._request("GET", f"/jobs/{job_id}/events?since={int(since)}")
+        return [
+            json.loads(line)
+            for line in raw.decode().splitlines()
+            if line.strip()
+        ]
+
+    def metrics_text(self) -> str:
+        """The raw ``/metrics`` OpenMetrics exposition."""
+        return self._request("GET", "/metrics").decode()
+
+    def metrics(self):
+        """The ``/metrics`` scrape parsed back into a SessionMeter."""
+        from repro.metrics.export import read_openmetrics
+
+        return read_openmetrics(self.metrics_text())
+
+    # -------------------------------------------------------------- wait
+
+    def wait(
+        self,
+        job_id: str,
+        timeout: Optional[float] = None,
+        poll_s: float = 0.25,
+    ) -> dict:
+        """Poll until the job reaches a terminal state; returns the record.
+
+        Raises :class:`ServiceError` on timeout — the job keeps running
+        server-side; this only stops *watching* it.
+        """
+        deadline = None if timeout is None else time.time() + timeout
+        while True:
+            record = self.job(job_id)
+            if record["state"] in TERMINAL_JOB_STATES:
+                return record
+            if deadline is not None and time.time() > deadline:
+                raise ServiceError(
+                    f"timed out after {timeout:g}s waiting for {job_id} "
+                    f"(state {record['state']}, {record['done']}/{record['total']})"
+                )
+            time.sleep(poll_s)

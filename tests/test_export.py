@@ -102,3 +102,82 @@ def test_trace_jsonl_to_csv_round_trip(tmp_path):
         for key, value in original.fields.items():
             if isinstance(value, (int, float)):
                 assert restored.fields[key] == value, (original.name, key)
+
+
+# ----------------------------------------------------------------------
+# OpenMetrics round trip (read_openmetrics)
+# ----------------------------------------------------------------------
+
+
+def _metered_fixture():
+    from repro.obs.meter import SessionMeter
+
+    meter = SessionMeter()
+    meter.inc("session.runs", 3)
+    meter.inc("fbcc.ticks", 7)
+    meter.set_gauge("service.uptime_s", 12.5)
+    for value in (0.004, 0.02, 0.3, 9.0):
+        meter.observe("service.queue_wait_s", value)
+    for value in (0.04, 0.08, 0.25):
+        meter.observe("receiver.delay_s", value)
+    t0 = meter.span_start()
+    meter.span_end("session.run", t0)
+    return meter
+
+
+def test_read_openmetrics_round_trip_is_byte_identical():
+    meter = _metered_fixture()
+    text = export.metrics_to_openmetrics(meter)
+    parsed = export.read_openmetrics(text)
+    assert export.metrics_to_openmetrics(parsed) == text
+
+
+def test_read_openmetrics_reconstructs_values():
+    meter = _metered_fixture()
+    parsed = export.read_openmetrics(export.metrics_to_openmetrics(meter))
+    assert parsed.metrics.counters["session.runs"] == 3.0
+    assert parsed.metrics.gauges["service.uptime_s"] == 12.5
+    histogram = parsed.metrics.histogram("service.queue_wait_s")
+    original = meter.metrics.histogram("service.queue_wait_s")
+    assert histogram.buckets == original.buckets
+    assert histogram.counts == original.counts  # de-cumulated per bucket
+    assert histogram.sum == original.sum
+    assert histogram.count == original.count
+    # Spans come back as summaries: sum/count survive, min/max do not.
+    assert parsed.spans.stats["session.run"].count == 1
+
+
+def test_read_openmetrics_requires_eof():
+    meter = _metered_fixture()
+    text = export.metrics_to_openmetrics(meter)
+    with pytest.raises(ValueError, match="EOF"):
+        export.read_openmetrics(text.replace("# EOF\n", ""))
+    with pytest.raises(ValueError):
+        export.read_openmetrics(text + "repro_session_runs_total 1\n")
+
+
+def test_read_openmetrics_unknown_family_strict_vs_lenient():
+    meter = _metered_fixture()
+    text = export.metrics_to_openmetrics(meter)
+    rogue = text.replace(
+        "# EOF", "# TYPE rogue_widgets counter\nrogue_widgets_total 4\n# EOF"
+    )
+    with pytest.raises(ValueError, match="rogue_widgets"):
+        export.read_openmetrics(rogue)
+    parsed = export.read_openmetrics(rogue, strict=False)
+    assert parsed.metrics.counters["session.runs"] == 3.0
+    assert "rogue_widgets" not in str(parsed.metrics.counters)
+
+
+def test_read_openmetrics_accepts_live_scrape(tmp_path):
+    """A real registry artifact survives export -> parse -> re-export."""
+    from repro.telephony.session import run_session
+    from repro.traces.scenarios import scenario
+
+    config = scenario(
+        "cellular", scheme="poi360", transport="fbcc", duration=3.0, seed=1
+    )
+    result = run_session(config, warmup=0.5, meter=True)
+    text = export.metrics_to_openmetrics(result.meter)
+    parsed = export.read_openmetrics(text)
+    assert export.metrics_to_openmetrics(parsed) == text

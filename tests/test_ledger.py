@@ -366,3 +366,148 @@ def test_check_run_ledger_tool_passes_on_cli_run(cli_run_dir):
     )
     assert proc.returncode == 0, proc.stdout + proc.stderr
     assert "0 problem(s)" in proc.stdout
+
+
+# ----------------------------------------------------------------------
+# Run maintenance: status, listing and garbage collection
+# ----------------------------------------------------------------------
+
+
+def _sealed_run(root, command="metrics", status="ok"):
+    ledger = RunLedger.open(command, config={}, root=root)
+    ledger.heartbeat("session", done=1, total=1)
+    ledger.finish(status)
+    return ledger.run_dir
+
+
+def test_run_status_fresh_running_vs_stale(tmp_path):
+    from repro.obs.ledger import run_status
+
+    ledger = RunLedger.open("metrics", config={}, root=tmp_path)
+    ledger.heartbeat("session", done=1, total=2)
+    assert run_status(ledger.run_dir) == "running"
+    # Same run, judged with a clock far in the future: writer presumed dead.
+    import time
+
+    later = time.time() + 3600.0
+    assert run_status(ledger.run_dir, stale_after_s=900.0, now=later) == "stale"
+    ledger.finish("ok")
+    assert run_status(ledger.run_dir, now=later) == "ok"
+
+
+def test_run_status_invalid_manifest(tmp_path):
+    from repro.obs.ledger import run_status
+
+    run_dir = tmp_path / "broken"
+    run_dir.mkdir()
+    (run_dir / "manifest.json").write_text("{not json")
+    assert run_status(run_dir) == "invalid"
+
+
+def test_heartbeat_age_tracks_the_newest_record(tmp_path):
+    import time
+
+    from repro.obs.ledger import heartbeat_age_s
+
+    ledger = RunLedger.open("metrics", config={}, root=tmp_path)
+    assert heartbeat_age_s(ledger.run_dir) is not None  # manifest fallback
+    ledger.heartbeat("session", done=1, total=1)
+    age = heartbeat_age_s(ledger.run_dir, now=time.time() + 10.0)
+    assert age == pytest.approx(10.0, abs=2.0)
+    ledger.finish("ok")
+
+
+def test_list_runs_reports_every_child(tmp_path):
+    from repro.obs.ledger import list_runs
+
+    ok_dir = _sealed_run(tmp_path)
+    cancelled_dir = _sealed_run(tmp_path, command="fleet", status="cancelled")
+    (tmp_path / "not-a-run").mkdir()  # ignored: no manifest
+    broken = tmp_path / "zz-broken"
+    broken.mkdir()
+    (broken / "manifest.json").write_text("{not json")
+
+    infos = list_runs(tmp_path)
+    by_dir = {info.run_dir: info for info in infos}
+    assert set(by_dir) == {ok_dir, cancelled_dir, broken}
+    assert by_dir[ok_dir].status == "ok"
+    assert by_dir[ok_dir].heartbeats == 1
+    assert by_dir[ok_dir].size_bytes > 0
+    assert by_dir[cancelled_dir].status == "cancelled"
+    assert by_dir[broken].status == "invalid"
+    row = by_dir[ok_dir].to_dict()
+    assert row["run_dir"] == str(ok_dir)
+    json.dumps(row)  # JSON-safe for `repro360 runs list --json`
+
+
+def test_gc_runs_prunes_old_sealed_runs_only(tmp_path):
+    import time
+
+    from repro.obs.ledger import gc_runs
+
+    old = _sealed_run(tmp_path)
+    fresh = _sealed_run(tmp_path, command="fleet")
+
+    # Judge with a clock 8 days ahead of `old`'s seal time but patch
+    # `fresh` to have just ended: only `old` is eligible.
+    manifest = read_manifest(fresh)
+    week_later = time.time() + 8 * 86400.0
+    manifest["ended_wall"] = week_later - 60.0
+    (fresh / "manifest.json").write_text(json.dumps(manifest))
+
+    removed, kept = gc_runs(tmp_path, keep_days=7.0, dry_run=True, now=week_later)
+    assert [info.run_dir for info in removed] == [old]
+    assert old.exists()  # dry run
+
+    removed, kept = gc_runs(tmp_path, keep_days=7.0, now=week_later)
+    assert [info.run_dir for info in removed] == [old]
+    assert not old.exists()
+    assert fresh.exists()
+    # A live run with fresh heartbeats is never a candidate — even with
+    # keep_days=0 a real-clock gc keeps it running.
+    live = RunLedger.open("metrics", config={}, root=tmp_path)
+    live.heartbeat("session", done=1, total=2)
+    removed, kept = gc_runs(tmp_path, keep_days=0.0)
+    assert live.run_dir not in [info.run_dir for info in removed]
+    assert live.run_dir in [info.run_dir for info in kept]
+    live.finish("ok")
+
+
+def test_check_run_ledger_accepts_fresh_running_run(tmp_path):
+    import subprocess
+    import sys as _sys
+    from pathlib import Path
+
+    ledger = RunLedger.open("metrics", config={}, root=tmp_path)
+    ledger.heartbeat("session", done=1, total=2)
+    tool = Path(__file__).resolve().parent.parent / "tools" / "check_run_ledger.py"
+    proc = subprocess.run(
+        [_sys.executable, str(tool), str(ledger.run_dir)],
+        capture_output=True, text=True,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "running" in proc.stdout
+
+    # The same unsealed run scanned with --stale-after 0 is a problem:
+    # a writer that old is presumed dead.
+    proc = subprocess.run(
+        [_sys.executable, str(tool), "--stale-after", "0", str(ledger.run_dir)],
+        capture_output=True, text=True,
+    )
+    assert proc.returncode == 1
+    assert "presumed dead" in proc.stdout
+    ledger.finish("ok")
+
+
+def test_check_run_ledger_accepts_cancelled_status(tmp_path):
+    import subprocess
+    import sys as _sys
+    from pathlib import Path
+
+    run_dir = _sealed_run(tmp_path, status="cancelled")
+    tool = Path(__file__).resolve().parent.parent / "tools" / "check_run_ledger.py"
+    proc = subprocess.run(
+        [_sys.executable, str(tool), str(run_dir)],
+        capture_output=True, text=True,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr

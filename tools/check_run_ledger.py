@@ -10,7 +10,12 @@ contract.
 Checks per run directory:
 
 - ``manifest.json`` parses, carries the ledger schema version and the
-  required identity/provenance keys, and reports a terminal status;
+  required identity/provenance keys, and reports a terminal status
+  (``ok`` / ``error`` / ``cancelled``) — **or** a live ``running``
+  status whose heartbeats are fresh (newer than ``--stale-after``
+  seconds), in which case the run is reported as *running* and the
+  seal-time artifacts (final registry, mandatory snapshot) are not yet
+  required;
 - ``heartbeat.jsonl`` parses line-by-line, every record carries the
   schema version and a known ``kind``, parent-side streams
   (session/cell/leg) keep ``done`` non-decreasing and carry an
@@ -23,12 +28,14 @@ Checks per run directory:
 Usage::
 
     PYTHONPATH=src python tools/check_run_ledger.py RUN_DIR [RUN_DIR...]
+            [--stale-after SECONDS]
 
 A run *root* (a directory of run directories) is also accepted — every
 child holding a ``manifest.json`` is checked.  Exits 0 when every run
 is clean, 1 otherwise (listing every problem).
 """
 
+import argparse
 import json
 import sys
 from pathlib import Path
@@ -39,11 +46,14 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 from check_metrics import check as check_openmetrics  # noqa: E402
 
 from repro.obs.ledger import (  # noqa: E402
+    DEFAULT_STALE_AFTER_S,
     HEARTBEAT_KINDS,
     LEDGER_VERSION,
     MANIFEST_NAME,
+    TERMINAL_STATUSES,
     read_heartbeats,
     read_manifest,
+    run_status,
     snapshot_paths,
 )
 
@@ -63,7 +73,11 @@ MANIFEST_KEYS = (
 PARENT_KINDS = ("session", "cell", "leg")
 
 
-def check_manifest(run_dir: Path, problems: list) -> dict:
+def check_manifest(
+    run_dir: Path,
+    problems: list,
+    stale_after_s: float = DEFAULT_STALE_AFTER_S,
+) -> dict:
     try:
         manifest = read_manifest(run_dir)
     except (OSError, json.JSONDecodeError) as error:
@@ -79,18 +93,24 @@ def check_manifest(run_dir: Path, problems: list) -> dict:
         )
     status = manifest.get("status")
     if status == "running":
-        problems.append(
-            f"{run_dir}: manifest status still 'running' (run not sealed)"
-        )
-    elif status not in ("ok", "error"):
+        # An in-progress run is not a contract failure as long as its
+        # heartbeats are fresh — something is still writing to it.
+        if run_status(run_dir, stale_after_s=stale_after_s) == "stale":
+            problems.append(
+                f"{run_dir}: manifest status 'running' but newest heartbeat "
+                f"is older than {stale_after_s:g}s (writer presumed dead)"
+            )
+    elif status not in TERMINAL_STATUSES:
         problems.append(f"{run_dir}: unknown manifest status {status!r}")
     return manifest
 
 
-def check_heartbeats(run_dir: Path, problems: list) -> int:
+def check_heartbeats(run_dir: Path, problems: list, sealed: bool = True) -> int:
     records = read_heartbeats(run_dir)
     if not records:
-        problems.append(f"{run_dir}: heartbeat.jsonl has no records")
+        # A live run may not have completed its first task yet.
+        if sealed:
+            problems.append(f"{run_dir}: heartbeat.jsonl has no records")
         return 0
     last_done = {}  # kind -> last done (parent streams)
     last_tick = {}  # (pid, cohort) -> last tick (worker streams)
@@ -134,10 +154,12 @@ def check_heartbeats(run_dir: Path, problems: list) -> int:
     return len(records)
 
 
-def check_snapshots(run_dir: Path, problems: list) -> int:
+def check_snapshots(run_dir: Path, problems: list, sealed: bool = True) -> int:
     paths = snapshot_paths(run_dir)
     if not paths:
-        problems.append(f"{run_dir}: no OpenMetrics snapshots")
+        # finish() always snapshots, so only a sealed run must have one.
+        if sealed:
+            problems.append(f"{run_dir}: no OpenMetrics snapshots")
         return 0
     for path in paths:
         for problem in check_openmetrics(path.read_text()):
@@ -164,13 +186,22 @@ def check_registry(run_dir: Path, problems: list) -> None:
         )
 
 
-def check_run(run_dir: Path, problems: list) -> str:
-    manifest = check_manifest(run_dir, problems)
-    beats = check_heartbeats(run_dir, problems)
-    snaps = check_snapshots(run_dir, problems)
-    check_registry(run_dir, problems)
+def check_run(
+    run_dir: Path,
+    problems: list,
+    stale_after_s: float = DEFAULT_STALE_AFTER_S,
+) -> str:
+    manifest = check_manifest(run_dir, problems, stale_after_s=stale_after_s)
+    sealed = manifest.get("status") != "running"
+    beats = check_heartbeats(run_dir, problems, sealed=sealed)
+    snaps = check_snapshots(run_dir, problems, sealed=sealed)
+    if sealed or (run_dir / "registry.json").exists():
+        check_registry(run_dir, problems)
+    label = manifest.get("status")
+    if label == "running":
+        label = run_status(run_dir, stale_after_s=stale_after_s)
     return (
-        f"{run_dir}: status={manifest.get('status')} "
+        f"{run_dir}: status={label} "
         f"heartbeats={beats} snapshots={snaps}"
     )
 
@@ -194,14 +225,22 @@ def expand(paths):
 
 
 def main(argv=None):
-    argv = sys.argv[1:] if argv is None else argv
-    if not argv:
-        print(__doc__.strip().splitlines()[0])
-        print("usage: check_run_ledger.py RUN_DIR [RUN_DIR...]")
-        return 2
+    parser = argparse.ArgumentParser(
+        description=__doc__.strip().splitlines()[0],
+    )
+    parser.add_argument("run_dirs", nargs="+", metavar="RUN_DIR")
+    parser.add_argument(
+        "--stale-after",
+        type=float,
+        default=DEFAULT_STALE_AFTER_S,
+        metavar="SECONDS",
+        help="age beyond which a 'running' run's heartbeats count as "
+        "abandoned (default %(default)s)",
+    )
+    args = parser.parse_args(argv)
     problems = []
-    for run_dir in expand(argv):
-        print(check_run(run_dir, problems))
+    for run_dir in expand(args.run_dirs):
+        print(check_run(run_dir, problems, stale_after_s=args.stale_after))
     for problem in problems:
         print(problem)
     print(f"{len(problems)} problem(s)")

@@ -1,0 +1,174 @@
+#!/usr/bin/env python3
+"""Service-mode smoke gate (docs/OBSERVABILITY.md, "Service mode").
+
+CI's ``serve-smoke`` leg runs this end-to-end harness:
+
+1. boot ``repro360 serve`` as a subprocess on an ephemeral port;
+2. submit a short fleet job over HTTP and poll it to completion;
+3. scrape ``/metrics`` and gate it with ``tools/check_metrics.py``;
+4. validate the job's run directory with ``tools/check_run_ledger.py``;
+5. **byte-diff** the job's registry and payload against a direct
+   ``repro360 fleet --json --metrics-output`` run of the same spec —
+   the server and the CLI share one execution path, so the artifacts
+   must be identical;
+6. resubmit the identical spec and require an instant ``cache_hit``
+   replay (plus a non-zero ``repro_service_jobs_cache_hits_total``).
+
+Usage::
+
+    PYTHONPATH=src python tools/check_serve.py [--duration 2.0]
+
+Exits 0 when every check passes, 1 otherwise (listing every problem).
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+sys.path.insert(0, str(REPO / "tools"))
+
+from check_metrics import check as check_openmetrics  # noqa: E402
+from check_run_ledger import check_run  # noqa: E402
+
+from repro.service.client import ServiceClient, ServiceError  # noqa: E402
+
+
+def spec_argv(spec):
+    """The ``repro360 fleet`` argv equivalent of a fleet job spec."""
+    argv = ["fleet", "--json"]
+    argv += ["--calls", ",".join(str(v) for v in spec["calls"])]
+    argv += ["--duration", str(spec["duration"])]
+    argv += ["--warmup", str(spec["warmup"])]
+    if spec.get("batch"):
+        argv.append("--batch")
+    return argv
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description=__doc__.strip().splitlines()[0],
+    )
+    parser.add_argument("--duration", type=float, default=2.0)
+    parser.add_argument("--warmup", type=float, default=0.5)
+    parser.add_argument("--timeout", type=float, default=300.0)
+    args = parser.parse_args(argv)
+
+    spec = {
+        "kind": "fleet",
+        "calls": [1],
+        "duration": args.duration,
+        "warmup": args.warmup,
+        "batch": True,
+    }
+    problems = []
+    env = dict(os.environ, PYTHONPATH=str(REPO / "src"))
+
+    with tempfile.TemporaryDirectory(prefix="repro-serve-smoke-") as tmp:
+        run_root = Path(tmp) / "runs"
+        env["REPRO_CACHE_DIR"] = str(Path(tmp) / "cache")
+        server = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "serve", "--port", "0",
+             "--run-root", str(run_root)],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.DEVNULL,
+            text=True,
+            env=env,
+        )
+        try:
+            url = server.stdout.readline().strip()
+            if not url.startswith("http"):
+                print(f"server did not announce a URL (got {url!r})")
+                return 1
+            client = ServiceClient(url, timeout=30.0)
+            client.healthz()
+            print(f"server up at {url}")
+
+            # 2. submit and poll to completion.
+            job = client.submit(spec)
+            record = client.wait(job["id"], timeout=args.timeout)
+            print(
+                f"job {record['id']} -> {record['state']} "
+                f"({record['done']}/{record['total']})"
+            )
+            if record["state"] != "done":
+                problems.append(
+                    f"job finished {record['state']!r}: {record.get('error')}"
+                )
+            result = record.get("result") or {}
+
+            # 3. the /metrics scrape passes the catalogue gate.
+            text = client.metrics_text()
+            for problem in check_openmetrics(text):
+                problems.append(f"/metrics: {problem}")
+            if "repro_service_jobs_completed_total 1" not in text:
+                problems.append("/metrics: expected jobs_completed_total 1")
+            print(f"/metrics scrape: {len(text.splitlines())} lines, gated")
+
+            # 4. the run directory honours the ledger contract.
+            run_dir = record.get("run_dir")
+            if run_dir:
+                print(check_run(Path(run_dir), problems))
+                events = client.events(record["id"])
+                if not events:
+                    problems.append("no heartbeat events served for the job")
+            else:
+                problems.append("job record carries no run_dir")
+
+            # 5. byte-diff against the direct CLI invocation.
+            registry_path = Path(tmp) / "direct_registry.json"
+            direct = subprocess.run(
+                [sys.executable, "-m", "repro.cli"] + spec_argv(spec)
+                + ["--metrics-output", str(registry_path)],
+                capture_output=True, text=True, env=env,
+            )
+            if direct.returncode != 0:
+                problems.append(f"direct CLI run failed: {direct.stderr}")
+            else:
+                cli_payload = json.loads(direct.stdout)
+                if result.get("payload") != cli_payload:
+                    problems.append("job payload != direct `fleet --json`")
+                cli_registry = json.loads(registry_path.read_text())
+                if result.get("registry") != cli_registry:
+                    problems.append(
+                        "job registry != direct `fleet --metrics-output`"
+                    )
+                else:
+                    print("server artifacts == direct CLI run (byte-equal)")
+
+            # 6. identical resubmission replays from cache.
+            replay = client.submit(spec)
+            if not replay.get("cache_hit"):
+                replay = client.wait(replay["id"], timeout=30.0)
+            if not replay.get("cache_hit"):
+                problems.append("identical resubmission did not cache-hit")
+            elif replay.get("result", result) != result and replay["result"]:
+                problems.append("cache-hit replay returned a different result")
+            else:
+                print(f"resubmission {replay['id']}: cache_hit=true")
+            text = client.metrics_text()
+            if "repro_service_jobs_cache_hits_total 1" not in text:
+                problems.append("/metrics: expected jobs_cache_hits_total 1")
+        except ServiceError as error:
+            problems.append(f"service error: {error}")
+        finally:
+            server.terminate()
+            try:
+                server.wait(10.0)
+            except subprocess.TimeoutExpired:
+                server.kill()
+
+    for problem in problems:
+        print(problem)
+    print(f"{len(problems)} problem(s)")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
